@@ -1,0 +1,79 @@
+// E4 — Fig. 9: the synthesized SE network for (C3,C2,C1,C0) = (1,0,0,0),
+// plus SE-cost distributions for growing context counts and the effect of
+// inter-row sharing (Table 1's G2 == G4 redundancy).
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "rcm/context_decoder.hpp"
+#include "rcm/decoder_synth.hpp"
+#include "workload/bitstream_gen.hpp"
+
+using namespace mcfpga;
+
+int main() {
+  std::cout << "=== E4: decoder synthesis (Fig. 9) ===\n\n";
+
+  // The paper's worked example.
+  const auto p = config::ContextPattern::from_string("1000");
+  const auto net = rcm::synthesize_decoder(p);
+  std::cout << "pattern (C3,C2,C1,C0) = (1,0,0,0):\n" << net.describe();
+  Table v({"context", "S1", "S0", "generated G", "expected"});
+  for (std::size_t c = 0; c < 4; ++c) {
+    v.add_row({std::to_string(c),
+               config::id_bit_value(c, 1) ? "1" : "0",
+               config::id_bit_value(c, 0) ? "1" : "0",
+               net.eval(c) ? "1" : "0", p.value_in(c) ? "1" : "0"});
+  }
+  v.print(std::cout);
+  std::cout << "paper: four SEs are sufficient to form the multiplexer -> "
+            << net.se_count() << " SEs synthesized\n\n";
+
+  // Average decoder cost vs context count at 5% change rate.
+  Table t({"contexts", "ID bits", "avg SE/row", "max SE/row",
+           "max depth (SE stages)"});
+  for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+    workload::BitstreamGenParams params;
+    params.rows = 8000;
+    params.num_contexts = n;
+    params.change_rate = 0.05;
+    params.seed = 99;
+    const auto bs = workload::generate_bitstream(params);
+    std::size_t total = 0;
+    std::size_t worst = 0;
+    std::size_t depth = 0;
+    for (const auto& row : bs.rows()) {
+      const auto d = rcm::synthesize_decoder(row.pattern);
+      total += d.se_count();
+      worst = std::max(worst, d.se_count());
+      depth = std::max(depth, d.depth());
+    }
+    t.add_row({std::to_string(n), std::to_string(config::num_id_bits(n)),
+               fmt_double(static_cast<double>(total) / 8000.0, 3),
+               std::to_string(worst), std::to_string(depth)});
+  }
+  std::cout << "decoder cost vs context count (5% change rate):\n";
+  t.print(std::cout);
+  std::cout << "\n";
+
+  // Sharing ablation: per-block decoders with and without pattern sharing.
+  Table s({"block rows", "networks (no share)", "networks (share)",
+           "SEs (no share)", "SEs (share)", "taps"});
+  for (const std::size_t rows : {64u, 256u, 1024u}) {
+    workload::BitstreamGenParams params;
+    params.rows = rows;
+    params.change_rate = 0.05;
+    params.seed = rows;
+    const auto bs = workload::generate_bitstream(params);
+    const rcm::ContextDecoder flat(bs, {.share_identical_patterns = false});
+    const rcm::ContextDecoder shared(bs, {.share_identical_patterns = true});
+    s.add_row({std::to_string(rows), fmt_count(flat.num_networks()),
+               fmt_count(shared.num_networks()),
+               fmt_count(flat.total_se_count()),
+               fmt_count(shared.total_se_count()),
+               fmt_count(shared.shared_row_taps())});
+  }
+  std::cout << "inter-row redundancy (G2 == G4 sharing) ablation:\n";
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E11 — google-benchmark microbenchmarks of the hot kernels: decoder
+// synthesis, decoder evaluation, pattern classification, bitstream
+// statistics, and fabric simulation.
+#include <benchmark/benchmark.h>
+
+#include "config/stats.hpp"
+#include "core/mcfpga.hpp"
+#include "rcm/context_decoder.hpp"
+#include "rcm/decoder_synth.hpp"
+#include "workload/bitstream_gen.hpp"
+#include "workload/circuits.hpp"
+
+using namespace mcfpga;
+
+namespace {
+
+void BM_ClassifyPattern(benchmark::State& state) {
+  const auto patterns = config::all_patterns(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::classify(patterns[i & 15]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyPattern);
+
+void BM_DecoderSynthesis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  workload::BitstreamGenParams params;
+  params.rows = 256;
+  params.num_contexts = n;
+  params.change_rate = 0.05;
+  const auto bs = workload::generate_bitstream(params);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rcm::synthesize_decoder(bs.row(i & 255).pattern));
+    ++i;
+  }
+}
+BENCHMARK(BM_DecoderSynthesis)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DecoderCostOnly(benchmark::State& state) {
+  workload::BitstreamGenParams params;
+  params.rows = 256;
+  params.num_contexts = 8;
+  params.change_rate = 0.05;
+  const auto bs = workload::generate_bitstream(params);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcm::decoder_se_cost(bs.row(i & 255).pattern));
+    ++i;
+  }
+}
+BENCHMARK(BM_DecoderCostOnly);
+
+void BM_DecodePlane(benchmark::State& state) {
+  workload::BitstreamGenParams params;
+  params.rows = static_cast<std::size_t>(state.range(0));
+  params.change_rate = 0.05;
+  const auto bs = workload::generate_bitstream(params);
+  const rcm::ContextDecoder dec(bs);
+  std::size_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode_plane(c & 3));
+    ++c;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params.rows));
+}
+BENCHMARK(BM_DecodePlane)->Arg(1000)->Arg(10000);
+
+void BM_BitstreamStats(benchmark::State& state) {
+  workload::BitstreamGenParams params;
+  params.rows = static_cast<std::size_t>(state.range(0));
+  const auto bs = workload::generate_bitstream(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::compute_stats(bs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params.rows));
+}
+BENCHMARK(BM_BitstreamStats)->Arg(10000)->Arg(100000);
+
+void BM_FabricSimEval(benchmark::State& state) {
+  arch::FabricSpec spec;
+  spec.width = 4;
+  spec.height = 4;
+  static const core::MCFPGA* chip = [] {
+    auto* c = new core::MCFPGA(workload::pipeline_workload(4, 6),
+                               arch::FabricSpec{});
+    return c;
+  }();
+  netlist::ValueMap inputs;
+  for (int i = 0; i < 6; ++i) {
+    inputs["a" + std::to_string(i)] = i % 2 == 0;
+    inputs["b" + std::to_string(i)] = i % 3 == 0;
+  }
+  std::size_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip->run(c & 3, inputs));
+    ++c;
+  }
+}
+BENCHMARK(BM_FabricSimEval);
+
+void BM_FullCompile(benchmark::State& state) {
+  const auto nl = workload::pipeline_workload(4, 5);
+  arch::FabricSpec spec;
+  spec.width = 4;
+  spec.height = 4;
+  for (auto _ : state) {
+    const core::MCFPGA chip(nl, spec);
+    benchmark::DoNotOptimize(chip.design().clusters.size());
+  }
+}
+BENCHMARK(BM_FullCompile)->Unit(benchmark::kMillisecond);
+
+}  // namespace

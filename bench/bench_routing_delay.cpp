@@ -1,0 +1,82 @@
+// E5 — Figs. 10-11: routing delay with and without double-length lines.
+// A signal crossing L cells serially passes ~L switch-block SEs; on
+// double-length lines it passes ~L/2 diamond switches.  The bench routes
+// straight-line connections of growing length and a full compiled design
+// under both configurations.
+#include <iostream>
+
+#include "arch/routing_graph.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/mcfpga.hpp"
+#include "route/router.hpp"
+#include "workload/circuits.hpp"
+
+using namespace mcfpga;
+
+namespace {
+
+route::RoutedPath route_straight(std::size_t length, bool prefer_dl) {
+  arch::FabricSpec spec;
+  spec.width = length + 1;
+  spec.height = 1;
+  spec.channel_width = 4;
+  spec.double_length_tracks = 2;
+  const arch::RoutingGraph g(spec);
+  route::RouterOptions opts;
+  opts.prefer_double_length = prefer_dl;
+  const route::Router router(g, opts);
+  std::vector<std::vector<route::RouteNet>> nets(4);
+  nets[0].push_back(route::RouteNet{
+      "straight", g.out_pin(0, 0, 0), {g.in_pin(length, 0, 0)}});
+  const auto result = router.route(nets);
+  return result.nets[0][0].paths[0];
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E5: double-length lines vs serial SEs (Figs. 10-11) "
+               "===\n\n";
+
+  Table t({"distance (cells)", "switches (single-length only)",
+           "switches (with double-length)", "diamonds used", "speedup"});
+  for (const std::size_t len : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    const auto slow = route_straight(len, false);
+    const auto fast = route_straight(len, true);
+    t.add_row({std::to_string(len), std::to_string(slow.switch_count()),
+               std::to_string(fast.switch_count()),
+               std::to_string(fast.diamond_count),
+               fmt_double(static_cast<double>(slow.switch_count()) /
+                              static_cast<double>(fast.switch_count()),
+                          2) +
+                   "x"});
+  }
+  std::cout << "straight-line route, SE crossings (delay in SE units):\n";
+  t.print(std::cout);
+  std::cout << "expected shape: the double-length configuration crosses\n"
+               "roughly half the switches at long distances (Fig. 10).\n\n";
+
+  // Full-design critical path with and without the fast lines.
+  Table d({"configuration", "critical path ctx0", "ctx1", "ctx2", "ctx3"});
+  for (const bool dl : {false, true}) {
+    arch::FabricSpec spec;
+    spec.width = 5;
+    spec.height = 5;
+    spec.channel_width = 8;
+    spec.double_length_tracks = dl ? 4 : 0;
+    core::CompileOptions options;
+    options.router.prefer_double_length = dl;
+    const core::MCFPGA chip(workload::pipeline_workload(4, 8), spec,
+                            options);
+    std::vector<std::string> row = {dl ? "with double-length lines"
+                                       : "single-length only"};
+    for (const auto& s : chip.design().context_stats) {
+      row.push_back(fmt_double(s.critical_path, 1));
+    }
+    d.add_row(row);
+  }
+  std::cout << "compiled pipeline workload, critical path (SE units):\n";
+  d.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: compile a 4-context design onto the MC-FPGA, run it on the
+// fabric simulator, and verify it against the software reference.
+//
+//   1. Build a multi-context netlist (one DFG per context).
+//   2. Describe the fabric (contexts, LUTs, channels).
+//   3. core::MCFPGA compiles (map -> place -> route -> program).
+//   4. run() evaluates any context on the programmed fabric.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "core/mcfpga.hpp"
+#include "workload/circuits.hpp"
+
+using namespace mcfpga;
+
+int main() {
+  // A 4-bit ripple-carry adder in every context (contexts share all logic,
+  // so the whole design fits a single set of single-plane LUTs).
+  netlist::MultiContextNetlist nl(4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    nl.context(c) = workload::ripple_carry_adder(4);
+  }
+
+  arch::FabricSpec spec;       // 4x4 cells, 4 contexts, RCM switch blocks
+  const core::MCFPGA chip(nl, spec);
+
+  std::cout << "compiled onto " << chip.design().fabric.describe() << "\n";
+  std::cout << "logic blocks used: " << chip.design().clusters.size()
+            << ", LUT ops merged across contexts: "
+            << chip.design().sharing.merged_lut_ops() << "\n";
+
+  // Drive the fabric: 9 + 5 + 1 = 15.
+  netlist::ValueMap inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs["a" + std::to_string(i)] = (9 >> i) & 1;
+    inputs["b" + std::to_string(i)] = (5 >> i) & 1;
+  }
+  inputs["cin"] = true;
+  const auto out = chip.run(/*context=*/0, inputs);
+  int sum = out.at("cout") ? 16 : 0;
+  for (int i = 0; i < 4; ++i) {
+    sum |= out.at("s" + std::to_string(i)) ? (1 << i) : 0;
+  }
+  std::cout << "fabric computes 9 + 5 + 1 = " << sum << "\n";
+
+  // Cross-check the fabric against the netlist reference evaluator.
+  const std::size_t mismatches = chip.verify(/*vectors=*/32);
+  std::cout << "verification mismatches: " << mismatches
+            << (mismatches == 0 ? " (fabric == reference)" : " (BUG!)")
+            << "\n";
+
+  // The headline number for this design: proposed vs conventional area.
+  std::cout << "area ratio (proposed/conventional): "
+            << fmt_percent(chip.area_report().ratio()) << "\n";
+  return mismatches == 0 ? 0 : 1;
+}

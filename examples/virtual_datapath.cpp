@@ -1,0 +1,92 @@
+// Virtual datapath: the DPGA promise from the paper's introduction — one
+// fabric sequentially configured as four different functional units (ALU,
+// barrel rotator, priority encoder, popcount) — plus the operational side
+// of owning such a device: archiving the bitstream and checking it for
+// configuration faults.
+#include <iostream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "config/serialize.hpp"
+#include "core/mcfpga.hpp"
+#include "sim/fault.hpp"
+#include "workload/datapath.hpp"
+
+using namespace mcfpga;
+
+namespace {
+
+netlist::ValueMap operands(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t op) {
+  netlist::ValueMap in;
+  for (int i = 0; i < 4; ++i) {
+    in["a" + std::to_string(i)] = (a >> i) & 1;
+    in["b" + std::to_string(i)] = (b >> i) & 1;
+  }
+  in["op0"] = op & 1;
+  in["op1"] = (op >> 1) & 1;
+  return in;
+}
+
+std::uint64_t read_bits(const netlist::ValueMap& out,
+                        const std::string& prefix, std::size_t bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const auto it = out.find(prefix + std::to_string(i));
+    if (it != out.end() && it->second) {
+      v |= std::uint64_t{1} << i;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== virtual datapath: 4 functional units, 1 fabric ===\n\n";
+  const auto nl = workload::virtual_datapath(4);
+  arch::FabricSpec spec;
+  spec.width = 5;
+  spec.height = 5;
+  spec.channel_width = 10;
+  const core::MCFPGA chip(nl, spec);
+  std::cout << "fabric: " << chip.design().fabric.describe() << "\n";
+  std::cout << "verification mismatches: " << chip.verify(24) << "\n\n";
+
+  const std::uint64_t a = 0b1011;  // 11
+  const std::uint64_t b = 0b0011;  // 3
+  Table t({"context", "unit", "result for a=11, b=3"});
+  t.add_row({"0", "ALU (op=ADD)",
+             std::to_string(read_bits(chip.run(0, operands(a, b, 3)), "r", 4)) +
+                 " (11+3 = 14)"});
+  t.add_row({"1", "rotate-left by b",
+             std::to_string(read_bits(chip.run(1, operands(a, b, 0)), "r", 4)) +
+                 " (1011 rol 3 = 1101 = 13)"});
+  t.add_row({"2", "priority encoder",
+             std::to_string(read_bits(chip.run(2, operands(a, b, 0)), "q", 2)) +
+                 " (highest set bit of 1011 = 3)"});
+  t.add_row({"3", "popcount",
+             std::to_string(read_bits(chip.run(3, operands(a, b, 0)), "c", 3)) +
+                 " (popcount(1011) = 3)"});
+  t.print(std::cout);
+
+  // Archive the full fabric bitstream and prove the archive is faithful.
+  const std::string archive = config::to_text(chip.design().full_bitstream);
+  const config::Bitstream restored = config::from_text(archive);
+  std::cout << "\nbitstream archived: " << archive.size() << " bytes, "
+            << restored.num_rows() << " rows; restored planes match: "
+            << (restored.plane(0) == chip.design().full_bitstream.plane(0)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+
+  // Fault-check the archive with the plane-diff oracle.
+  const auto campaign =
+      sim::run_fault_campaign(chip.design().full_bitstream, 100, 3);
+  std::cout << "fault campaign: " << campaign.injected << " injected, "
+            << campaign.detected << " detected, " << campaign.masked
+            << " masked (" << fmt_percent(campaign.detection_rate())
+            << " detection)\n";
+  return 0;
+}

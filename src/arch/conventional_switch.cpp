@@ -1,0 +1,23 @@
+#include "arch/conventional_switch.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::arch {
+
+ConventionalMultiContextSwitch::ConventionalMultiContextSwitch(
+    std::size_t num_contexts)
+    : pattern_(num_contexts, false) {}
+
+void ConventionalMultiContextSwitch::program(
+    const config::ContextPattern& pattern) {
+  MCFPGA_REQUIRE(pattern.num_contexts() == pattern_.num_contexts(),
+                 "pattern context count must match switch context count");
+  pattern_ = pattern;
+}
+
+bool ConventionalMultiContextSwitch::is_on(std::size_t context) const {
+  MCFPGA_REQUIRE(context < pattern_.num_contexts(), "context out of range");
+  return pattern_.value_in(context);
+}
+
+}  // namespace mcfpga::arch

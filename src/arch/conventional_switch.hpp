@@ -1,0 +1,35 @@
+// Conventional multi-context switch (paper Fig. 2): the baseline the RCM is
+// evaluated against.  Each routing switch stores one memory bit per context
+// and selects the active bit with an n:1 multiplexer driven by the
+// context-ID bits.
+#pragma once
+
+#include <cstddef>
+
+#include "config/pattern.hpp"
+
+namespace mcfpga::arch {
+
+class ConventionalMultiContextSwitch {
+ public:
+  explicit ConventionalMultiContextSwitch(std::size_t num_contexts);
+
+  std::size_t num_contexts() const { return pattern_.num_contexts(); }
+
+  /// Loads all context planes of this switch at once.
+  void program(const config::ContextPattern& pattern);
+  const config::ContextPattern& pattern() const { return pattern_; }
+
+  /// Pass-gate state in `context` (the n:1 mux output).
+  bool is_on(std::size_t context) const;
+
+  /// Memory bits consumed (n — the overhead the paper attacks).
+  std::size_t memory_bits() const { return pattern_.num_contexts(); }
+  /// 2:1 stages in the context mux (n-1 for a full binary mux tree).
+  std::size_t mux_stages() const { return pattern_.num_contexts() - 1; }
+
+ private:
+  config::ContextPattern pattern_;
+};
+
+}  // namespace mcfpga::arch

@@ -1,0 +1,76 @@
+#include "arch/diamond_switch.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::arch {
+
+std::string to_string(Direction dir) {
+  switch (dir) {
+    case Direction::kNorth:
+      return "N";
+    case Direction::kEast:
+      return "E";
+    case Direction::kSouth:
+      return "S";
+    case Direction::kWest:
+      return "W";
+  }
+  return "?";
+}
+
+namespace {
+config::ContextPattern off_pattern(std::size_t num_contexts) {
+  return config::ContextPattern(num_contexts, false);
+}
+}  // namespace
+
+DiamondSwitch::DiamondSwitch(std::string name, std::size_t num_contexts)
+    : name_(std::move(name)),
+      num_contexts_(num_contexts),
+      patterns_{off_pattern(num_contexts), off_pattern(num_contexts),
+                off_pattern(num_contexts), off_pattern(num_contexts),
+                off_pattern(num_contexts), off_pattern(num_contexts)} {}
+
+std::size_t DiamondSwitch::pair_index(Direction a, Direction b) {
+  auto ia = static_cast<std::size_t>(a);
+  auto ib = static_cast<std::size_t>(b);
+  MCFPGA_REQUIRE(ia != ib, "a diamond pair needs two distinct directions");
+  if (ia > ib) {
+    std::swap(ia, ib);
+  }
+  // Pairs in lexicographic order: (0,1)(0,2)(0,3)(1,2)(1,3)(2,3).
+  static constexpr std::size_t kIndex[4][4] = {{9, 0, 1, 2},
+                                               {9, 9, 3, 4},
+                                               {9, 9, 9, 5},
+                                               {9, 9, 9, 9}};
+  return kIndex[ia][ib];
+}
+
+void DiamondSwitch::program(Direction a, Direction b,
+                            const config::ContextPattern& pattern) {
+  MCFPGA_REQUIRE(pattern.num_contexts() == num_contexts_,
+                 "pattern context count must match diamond context count");
+  patterns_[pair_index(a, b)] = pattern;
+}
+
+bool DiamondSwitch::is_connected(Direction a, Direction b,
+                                 std::size_t context) const {
+  MCFPGA_REQUIRE(context < num_contexts_, "context out of range");
+  return patterns_[pair_index(a, b)].value_in(context);
+}
+
+config::Bitstream DiamondSwitch::to_bitstream() const {
+  static constexpr Direction kDirs[4] = {Direction::kNorth, Direction::kEast,
+                                         Direction::kSouth, Direction::kWest};
+  config::Bitstream bs(num_contexts_);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      bs.add_row(name_ + "." + to_string(kDirs[a]) + to_string(kDirs[b]),
+                 config::ResourceKind::kRoutingSwitch,
+                 patterns_[pair_index(kDirs[a], kDirs[b])]);
+    }
+  }
+  return bs;
+}
+
+}  // namespace mcfpga::arch

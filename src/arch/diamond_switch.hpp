@@ -1,0 +1,53 @@
+// Diamond switch (paper Fig. 11): the switch point of the double-length
+// line network (Fig. 10).  A diamond switch joins the four compass
+// directions; each incoming line can connect to the lines in the other
+// three directions.  The six direction pairs are each gated by one switch
+// element's pass-gate, so the whole diamond costs six SEs plus one spare SE
+// the figure shows stitching the center junction (we model seven SEs total,
+// matching the figure's SE count).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "config/bitstream.hpp"
+#include "config/pattern.hpp"
+
+namespace mcfpga::arch {
+
+enum class Direction : std::size_t { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3 };
+
+std::string to_string(Direction dir);
+
+class DiamondSwitch {
+ public:
+  /// SEs per diamond switch (Fig. 11 structure).
+  static constexpr std::size_t kSeCount = 7;
+  /// Programmable direction pairs: C(4,2) = 6.
+  static constexpr std::size_t kNumPairs = 6;
+
+  DiamondSwitch(std::string name, std::size_t num_contexts);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_contexts() const { return num_contexts_; }
+
+  /// Index of the (a, b) direction pair; order-insensitive.
+  static std::size_t pair_index(Direction a, Direction b);
+
+  /// Programs the on/off pattern of one direction pair across contexts.
+  void program(Direction a, Direction b,
+               const config::ContextPattern& pattern);
+  /// True if the pair's pass-gate is on in `context`.
+  bool is_connected(Direction a, Direction b, std::size_t context) const;
+
+  /// All pairs as bitstream rows.
+  config::Bitstream to_bitstream() const;
+
+ private:
+  std::string name_;
+  std::size_t num_contexts_;
+  std::array<config::ContextPattern, kNumPairs> patterns_;
+};
+
+}  // namespace mcfpga::arch

@@ -1,0 +1,504 @@
+#include "arch/routing_graph.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::arch {
+
+namespace {
+/// Pads attached at each perimeter cell's junction.
+constexpr std::size_t kPadsPerPerimeterCell = 2;
+
+std::string coord(std::int32_t x, std::int32_t y) {
+  return "(" + std::to_string(x) + "," + std::to_string(y) + ")";
+}
+}  // namespace
+
+std::string to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kOutPin:
+      return "out-pin";
+    case NodeKind::kInPin:
+      return "in-pin";
+    case NodeKind::kPad:
+      return "pad";
+    case NodeKind::kWire:
+      return "wire";
+  }
+  return "?";
+}
+
+std::string to_string(SwitchOwner owner) {
+  switch (owner) {
+    case SwitchOwner::kSwitchBlock:
+      return "switch-block";
+    case SwitchOwner::kConnectionBlock:
+      return "connection-block";
+    case SwitchOwner::kDiamond:
+      return "diamond";
+  }
+  return "?";
+}
+
+RoutingGraph::RoutingGraph(const FabricSpec& spec) : spec_(spec) {
+  spec_.validate();
+  block_switch_counts_.assign(spec_.num_cells(), {0, 0, 0});
+  build_wires();
+  build_double_length();
+  build_switch_blocks();
+  build_connection_blocks();
+  build_pads();
+}
+
+std::size_t RoutingGraph::check_node(NodeId id) const {
+  MCFPGA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                 "node id out of range");
+  return static_cast<std::size_t>(id);
+}
+
+std::size_t RoutingGraph::check_edge(EdgeId id) const {
+  MCFPGA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < edges_.size(),
+                 "edge id out of range");
+  return static_cast<std::size_t>(id);
+}
+
+std::size_t RoutingGraph::check_switch(SwitchId id) const {
+  MCFPGA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < switches_.size(),
+                 "switch id out of range");
+  return static_cast<std::size_t>(id);
+}
+
+NodeId RoutingGraph::add_node(RRNode node) {
+  nodes_.push_back(std::move(node));
+  fanout_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SwitchId RoutingGraph::add_switch(NodeId a, NodeId b, SwitchOwner owner,
+                                  std::int32_t x, std::int32_t y,
+                                  std::string name) {
+  RRSwitch sw;
+  sw.owner = owner;
+  sw.x = x;
+  sw.y = y;
+  sw.name = std::move(name);
+
+  sw.forward = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(RREdge{a, b, static_cast<SwitchId>(switches_.size())});
+  fanout_[check_node(a)].push_back(sw.forward);
+
+  sw.backward = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(RREdge{b, a, static_cast<SwitchId>(switches_.size())});
+  fanout_[check_node(b)].push_back(sw.backward);
+
+  switches_.push_back(std::move(sw));
+  const std::size_t cell =
+      static_cast<std::size_t>(y) * spec_.width + static_cast<std::size_t>(x);
+  ++block_switch_counts_[cell][static_cast<std::size_t>(owner)];
+  return static_cast<SwitchId>(switches_.size() - 1);
+}
+
+NodeId RoutingGraph::h_wire(std::int32_t x, std::int32_t y,
+                            std::int32_t t) const {
+  if (x < 0 || y < 0 || t < 0 ||
+      x >= static_cast<std::int32_t>(spec_.width) - 1 ||
+      y >= static_cast<std::int32_t>(spec_.height) ||
+      t >= static_cast<std::int32_t>(spec_.channel_width)) {
+    return kInvalidNode;
+  }
+  const std::size_t idx =
+      ((static_cast<std::size_t>(x) * spec_.height +
+        static_cast<std::size_t>(y)) *
+       spec_.channel_width) +
+      static_cast<std::size_t>(t);
+  return h_wires_[idx];
+}
+
+NodeId RoutingGraph::v_wire(std::int32_t x, std::int32_t y,
+                            std::int32_t t) const {
+  if (x < 0 || y < 0 || t < 0 ||
+      x >= static_cast<std::int32_t>(spec_.width) ||
+      y >= static_cast<std::int32_t>(spec_.height) - 1 ||
+      t >= static_cast<std::int32_t>(spec_.channel_width)) {
+    return kInvalidNode;
+  }
+  const std::size_t idx =
+      ((static_cast<std::size_t>(x) * spec_.height +
+        static_cast<std::size_t>(y)) *
+       spec_.channel_width) +
+      static_cast<std::size_t>(t);
+  return v_wires_[idx];
+}
+
+NodeId RoutingGraph::dl_h_wire(std::int32_t x, std::int32_t y,
+                               std::int32_t t) const {
+  if (x < 0 || y < 0 || t < 0 ||
+      x >= static_cast<std::int32_t>(spec_.width) ||
+      y >= static_cast<std::int32_t>(spec_.height) ||
+      t >= static_cast<std::int32_t>(spec_.double_length_tracks)) {
+    return kInvalidNode;
+  }
+  const std::size_t idx =
+      ((static_cast<std::size_t>(x) * spec_.height +
+        static_cast<std::size_t>(y)) *
+       spec_.double_length_tracks) +
+      static_cast<std::size_t>(t);
+  return dl_h_wires_[idx];
+}
+
+NodeId RoutingGraph::dl_v_wire(std::int32_t x, std::int32_t y,
+                               std::int32_t t) const {
+  if (x < 0 || y < 0 || t < 0 ||
+      x >= static_cast<std::int32_t>(spec_.width) ||
+      y >= static_cast<std::int32_t>(spec_.height) ||
+      t >= static_cast<std::int32_t>(spec_.double_length_tracks)) {
+    return kInvalidNode;
+  }
+  const std::size_t idx =
+      ((static_cast<std::size_t>(x) * spec_.height +
+        static_cast<std::size_t>(y)) *
+       spec_.double_length_tracks) +
+      static_cast<std::size_t>(t);
+  return dl_v_wires_[idx];
+}
+
+void RoutingGraph::build_wires() {
+  const auto W = static_cast<std::int32_t>(spec_.channel_width);
+  const auto width = static_cast<std::int32_t>(spec_.width);
+  const auto height = static_cast<std::int32_t>(spec_.height);
+
+  // Full-grid tables with a uniform (x * height + y) * W + t stride;
+  // entries with no wire stay kInvalidNode.
+  h_wires_.assign(static_cast<std::size_t>(width) * height * W,
+                  kInvalidNode);
+  v_wires_.assign(static_cast<std::size_t>(width) * height * W,
+                  kInvalidNode);
+
+  for (std::int32_t x = 0; x + 1 < width; ++x) {
+    for (std::int32_t y = 0; y < height; ++y) {
+      for (std::int32_t t = 0; t < W; ++t) {
+        RRNode n;
+        n.kind = NodeKind::kWire;
+        n.x = x;
+        n.y = y;
+        n.index = t;
+        n.horizontal = true;
+        n.length = 1;
+        n.name = "h" + coord(x, y) + ".t" + std::to_string(t);
+        const std::size_t idx =
+            ((static_cast<std::size_t>(x) * spec_.height +
+              static_cast<std::size_t>(y)) *
+             spec_.channel_width) +
+            static_cast<std::size_t>(t);
+        h_wires_[idx] = add_node(std::move(n));
+      }
+    }
+  }
+  for (std::int32_t x = 0; x < width; ++x) {
+    for (std::int32_t y = 0; y + 1 < height; ++y) {
+      for (std::int32_t t = 0; t < W; ++t) {
+        RRNode n;
+        n.kind = NodeKind::kWire;
+        n.x = x;
+        n.y = y;
+        n.index = t;
+        n.horizontal = false;
+        n.length = 1;
+        n.name = "v" + coord(x, y) + ".t" + std::to_string(t);
+        const std::size_t idx =
+            ((static_cast<std::size_t>(x) * spec_.height +
+              static_cast<std::size_t>(y)) *
+             spec_.channel_width) +
+            static_cast<std::size_t>(t);
+        v_wires_[idx] = add_node(std::move(n));
+      }
+    }
+  }
+
+  // Logic-block pins.
+  out_pins_.assign(spec_.num_cells() * spec_.logic_block.num_outputs,
+                   kInvalidNode);
+  const std::size_t lb_inputs =
+      lut::McmgLut(spec_.logic_block.base_inputs, spec_.num_contexts)
+          .max_inputs();
+  in_pins_.assign(spec_.num_cells() * lb_inputs, kInvalidNode);
+
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      const std::size_t cell = static_cast<std::size_t>(y) * spec_.width +
+                               static_cast<std::size_t>(x);
+      for (std::size_t p = 0; p < spec_.logic_block.num_outputs; ++p) {
+        RRNode n;
+        n.kind = NodeKind::kOutPin;
+        n.x = x;
+        n.y = y;
+        n.index = static_cast<std::int32_t>(p);
+        n.name = "lb" + coord(x, y) + ".out" + std::to_string(p);
+        out_pins_[cell * spec_.logic_block.num_outputs + p] =
+            add_node(std::move(n));
+      }
+      for (std::size_t p = 0; p < lb_inputs; ++p) {
+        RRNode n;
+        n.kind = NodeKind::kInPin;
+        n.x = x;
+        n.y = y;
+        n.index = static_cast<std::int32_t>(p);
+        n.name = "lb" + coord(x, y) + ".in" + std::to_string(p);
+        in_pins_[cell * lb_inputs + p] = add_node(std::move(n));
+      }
+    }
+  }
+}
+
+void RoutingGraph::build_double_length() {
+  const auto Wd = static_cast<std::int32_t>(spec_.double_length_tracks);
+  if (Wd == 0) {
+    return;
+  }
+  const auto width = static_cast<std::int32_t>(spec_.width);
+  const auto height = static_cast<std::int32_t>(spec_.height);
+
+  dl_h_wires_.assign(static_cast<std::size_t>(width) * height * Wd,
+                     kInvalidNode);
+  dl_v_wires_.assign(static_cast<std::size_t>(width) * height * Wd,
+                     kInvalidNode);
+
+  // A double-length wire on track t starts only at junctions whose parity
+  // matches the track's phase (t % 2): this staggers the two phases so that
+  // every junction terminates some double-length wire while each individual
+  // wire bypasses every other junction (Fig. 10).
+  for (std::int32_t t = 0; t < Wd; ++t) {
+    const std::int32_t phase = t % 2;
+    for (std::int32_t y = 0; y < height; ++y) {
+      for (std::int32_t x = phase; x + 2 < width; x += 2) {
+        RRNode n;
+        n.kind = NodeKind::kWire;
+        n.x = x;
+        n.y = y;
+        n.index = t;
+        n.horizontal = true;
+        n.length = 2;
+        n.name = "dh" + coord(x, y) + ".t" + std::to_string(t);
+        const std::size_t idx =
+            ((static_cast<std::size_t>(x) * spec_.height +
+              static_cast<std::size_t>(y)) *
+             spec_.double_length_tracks) +
+            static_cast<std::size_t>(t);
+        dl_h_wires_[idx] = add_node(std::move(n));
+      }
+    }
+    for (std::int32_t x = 0; x < width; ++x) {
+      for (std::int32_t y = phase; y + 2 < height; y += 2) {
+        RRNode n;
+        n.kind = NodeKind::kWire;
+        n.x = x;
+        n.y = y;
+        n.index = t;
+        n.horizontal = false;
+        n.length = 2;
+        n.name = "dv" + coord(x, y) + ".t" + std::to_string(t);
+        const std::size_t idx =
+            ((static_cast<std::size_t>(x) * spec_.height +
+              static_cast<std::size_t>(y)) *
+             spec_.double_length_tracks) +
+            static_cast<std::size_t>(t);
+        dl_v_wires_[idx] = add_node(std::move(n));
+      }
+    }
+  }
+
+  // Diamond switches: join double-length wires terminating at a junction,
+  // and connect each terminating wire into the single-length network
+  // (Fig. 11's U1..U6 ports into the RCM) so routes can enter and leave
+  // the fast lines mid-path.
+  const auto W = static_cast<std::int32_t>(spec_.channel_width);
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      for (std::int32_t t = 0; t < Wd; ++t) {
+        const NodeId east = dl_h_wire(x, y, t);
+        const NodeId west = dl_h_wire(x - 2, y, t);
+        const NodeId north = dl_v_wire(x, y, t);
+        const NodeId south = dl_v_wire(x, y - 2, t);
+        const NodeId incident[4] = {north, east, south, west};
+        for (std::size_t a = 0; a < 4; ++a) {
+          for (std::size_t b = a + 1; b < 4; ++b) {
+            if (incident[a] != kInvalidNode && incident[b] != kInvalidNode) {
+              add_switch(incident[a], incident[b], SwitchOwner::kDiamond, x, y,
+                         "dia" + coord(x, y) + ".t" + std::to_string(t) + "." +
+                             std::to_string(a) + std::to_string(b));
+            }
+          }
+        }
+        // Transfer ports: double-length wire <-> the same-index
+        // single-length track at this junction.
+        const std::int32_t st = t % W;
+        const NodeId singles[4] = {h_wire(x, y, st), h_wire(x - 1, y, st),
+                                   v_wire(x, y, st), v_wire(x, y - 1, st)};
+        for (std::size_t a = 0; a < 4; ++a) {
+          if (incident[a] == kInvalidNode) {
+            continue;
+          }
+          for (std::size_t s = 0; s < 4; ++s) {
+            if (singles[s] != kInvalidNode) {
+              add_switch(incident[a], singles[s], SwitchOwner::kDiamond, x, y,
+                         "diaU" + coord(x, y) + ".t" + std::to_string(t) +
+                             "." + std::to_string(a) + "s" +
+                             std::to_string(s));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void RoutingGraph::build_switch_blocks() {
+  const auto W = static_cast<std::int32_t>(spec_.channel_width);
+  const auto width = static_cast<std::int32_t>(spec_.width);
+  const auto height = static_cast<std::int32_t>(spec_.height);
+
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      for (std::int32_t t = 0; t < W; ++t) {
+        const NodeId east = h_wire(x, y, t);
+        const NodeId west = h_wire(x - 1, y, t);
+        const NodeId north = v_wire(x, y, t);
+        const NodeId south = v_wire(x, y - 1, t);
+        const NodeId incident[4] = {north, east, south, west};
+        for (std::size_t a = 0; a < 4; ++a) {
+          for (std::size_t b = a + 1; b < 4; ++b) {
+            if (incident[a] != kInvalidNode && incident[b] != kInvalidNode) {
+              add_switch(incident[a], incident[b], SwitchOwner::kSwitchBlock,
+                         x, y,
+                         "sb" + coord(x, y) + ".t" + std::to_string(t) + "." +
+                             std::to_string(a) + std::to_string(b));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void RoutingGraph::build_connection_blocks() {
+  const auto W = static_cast<std::int32_t>(spec_.channel_width);
+  const auto Wd = static_cast<std::int32_t>(spec_.double_length_tracks);
+  const auto width = static_cast<std::int32_t>(spec_.width);
+  const auto height = static_cast<std::int32_t>(spec_.height);
+  const std::size_t lb_inputs =
+      in_pins_.size() / spec_.num_cells();
+
+  const auto connect_pin = [&](NodeId pin, std::int32_t x, std::int32_t y,
+                               const std::string& pin_name) {
+    for (std::int32_t t = 0; t < W; ++t) {
+      for (const NodeId wire : {h_wire(x, y, t), h_wire(x - 1, y, t),
+                                v_wire(x, y, t), v_wire(x, y - 1, t)}) {
+        if (wire != kInvalidNode) {
+          add_switch(pin, wire, SwitchOwner::kConnectionBlock, x, y,
+                     pin_name + "<->" + nodes_[check_node(wire)].name);
+        }
+      }
+    }
+    // "The double-length lines are connected to the logic blocks through RCM
+    // blocks": pins reach double-length wires terminating at this junction.
+    for (std::int32_t t = 0; t < Wd; ++t) {
+      for (const NodeId wire : {dl_h_wire(x, y, t), dl_h_wire(x - 2, y, t),
+                                dl_v_wire(x, y, t), dl_v_wire(x, y - 2, t)}) {
+        if (wire != kInvalidNode) {
+          add_switch(pin, wire, SwitchOwner::kConnectionBlock, x, y,
+                     pin_name + "<->" + nodes_[check_node(wire)].name);
+        }
+      }
+    }
+  };
+
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      const std::size_t cell = static_cast<std::size_t>(y) * spec_.width +
+                               static_cast<std::size_t>(x);
+      for (std::size_t p = 0; p < spec_.logic_block.num_outputs; ++p) {
+        const NodeId pin = out_pins_[cell * spec_.logic_block.num_outputs + p];
+        connect_pin(pin, x, y, nodes_[check_node(pin)].name);
+      }
+      for (std::size_t p = 0; p < lb_inputs; ++p) {
+        const NodeId pin = in_pins_[cell * lb_inputs + p];
+        connect_pin(pin, x, y, nodes_[check_node(pin)].name);
+      }
+    }
+  }
+}
+
+void RoutingGraph::build_pads() {
+  const auto W = static_cast<std::int32_t>(spec_.channel_width);
+  const auto width = static_cast<std::int32_t>(spec_.width);
+  const auto height = static_cast<std::int32_t>(spec_.height);
+
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      const bool perimeter =
+          x == 0 || y == 0 || x == width - 1 || y == height - 1;
+      if (!perimeter) {
+        continue;
+      }
+      for (std::size_t p = 0; p < kPadsPerPerimeterCell; ++p) {
+        RRNode n;
+        n.kind = NodeKind::kPad;
+        n.x = x;
+        n.y = y;
+        n.index = static_cast<std::int32_t>(pads_.size());
+        n.name = "pad" + coord(x, y) + "." + std::to_string(p);
+        const NodeId pad_node = add_node(std::move(n));
+        pads_.push_back(pad_node);
+        for (std::int32_t t = 0; t < W; ++t) {
+          for (const NodeId wire : {h_wire(x, y, t), h_wire(x - 1, y, t),
+                                    v_wire(x, y, t), v_wire(x, y - 1, t)}) {
+            if (wire != kInvalidNode) {
+              add_switch(pad_node, wire, SwitchOwner::kConnectionBlock, x, y,
+                         nodes_[check_node(pad_node)].name + "<->" +
+                             nodes_[check_node(wire)].name);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+NodeId RoutingGraph::out_pin(std::size_t x, std::size_t y,
+                             std::size_t pin) const {
+  MCFPGA_REQUIRE(x < spec_.width && y < spec_.height, "cell out of range");
+  MCFPGA_REQUIRE(pin < spec_.logic_block.num_outputs, "pin out of range");
+  return out_pins_[(y * spec_.width + x) * spec_.logic_block.num_outputs +
+                   pin];
+}
+
+NodeId RoutingGraph::in_pin(std::size_t x, std::size_t y,
+                            std::size_t pin) const {
+  MCFPGA_REQUIRE(x < spec_.width && y < spec_.height, "cell out of range");
+  const std::size_t lb_inputs = in_pins_.size() / spec_.num_cells();
+  MCFPGA_REQUIRE(pin < lb_inputs, "pin out of range");
+  return in_pins_[(y * spec_.width + x) * lb_inputs + pin];
+}
+
+NodeId RoutingGraph::pad(std::size_t perimeter_index) const {
+  MCFPGA_REQUIRE(perimeter_index < pads_.size(), "pad index out of range");
+  return pads_[perimeter_index];
+}
+
+std::size_t RoutingGraph::count_switches(SwitchOwner owner) const {
+  std::size_t n = 0;
+  for (const auto& sw : switches_) {
+    if (sw.owner == owner) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t RoutingGraph::switches_in_block(std::size_t x, std::size_t y,
+                                            SwitchOwner owner) const {
+  MCFPGA_REQUIRE(x < spec_.width && y < spec_.height, "cell out of range");
+  return block_switch_counts_[y * spec_.width + x]
+                             [static_cast<std::size_t>(owner)];
+}
+
+}  // namespace mcfpga::arch

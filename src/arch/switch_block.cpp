@@ -1,0 +1,65 @@
+#include "arch/switch_block.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::arch {
+
+SwitchBlock::SwitchBlock(std::string name, std::size_t num_points,
+                         std::size_t num_contexts, SwitchImpl impl)
+    : name_(std::move(name)),
+      num_contexts_(num_contexts),
+      impl_(impl),
+      patterns_(num_points, config::ContextPattern(num_contexts, false)) {}
+
+void SwitchBlock::program(std::size_t point,
+                          const config::ContextPattern& pattern) {
+  MCFPGA_REQUIRE(point < patterns_.size(), "switch point out of range");
+  MCFPGA_REQUIRE(pattern.num_contexts() == num_contexts_,
+                 "pattern context count must match block context count");
+  patterns_[point] = pattern;
+  decoder_.reset();
+}
+
+const config::ContextPattern& SwitchBlock::pattern(std::size_t point) const {
+  MCFPGA_REQUIRE(point < patterns_.size(), "switch point out of range");
+  return patterns_[point];
+}
+
+void SwitchBlock::ensure_decoder() const {
+  if (!decoder_) {
+    decoder_.emplace(to_bitstream());
+  }
+}
+
+bool SwitchBlock::is_on(std::size_t point, std::size_t context) const {
+  MCFPGA_REQUIRE(point < patterns_.size(), "switch point out of range");
+  MCFPGA_REQUIRE(context < num_contexts_, "context out of range");
+  if (impl_ == SwitchImpl::kRcm) {
+    ensure_decoder();
+    return decoder_->output(point, context);
+  }
+  return patterns_[point].value_in(context);
+}
+
+config::Bitstream SwitchBlock::to_bitstream() const {
+  config::Bitstream bs(num_contexts_);
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    bs.add_row(name_ + ".p" + std::to_string(i),
+               config::ResourceKind::kRoutingSwitch, patterns_[i]);
+  }
+  return bs;
+}
+
+bool SwitchBlock::verify_rcm_equivalence() const {
+  const rcm::ContextDecoder dec(to_bitstream());
+  return dec.matches(to_bitstream());
+}
+
+const rcm::ContextDecoder& SwitchBlock::decoder() const {
+  MCFPGA_REQUIRE(impl_ == SwitchImpl::kRcm,
+                 "decoder() requires an RCM switch block");
+  ensure_decoder();
+  return *decoder_;
+}
+
+}  // namespace mcfpga::arch

@@ -1,0 +1,68 @@
+// Programmable switch block: the per-cell set of routing switches.
+//
+// A SwitchBlock owns the context patterns of all its switch points and can
+// realize them with either implementation:
+//  * kConventional — one ConventionalMultiContextSwitch per point (Fig. 2);
+//  * kRcm          — one synthesized SE decoder per point (Figs. 7-9),
+//                    optionally sharing networks between identical patterns.
+// Both implementations are kept functionally interchangeable; the
+// equivalence oracle verify_rcm_equivalence() proves it per block, and the
+// area model charges each implementation its own bill of materials.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/conventional_switch.hpp"
+#include "arch/fabric_spec.hpp"
+#include "config/bitstream.hpp"
+#include "rcm/context_decoder.hpp"
+
+namespace mcfpga::arch {
+
+class SwitchBlock {
+ public:
+  /// `num_points`: programmable switch points in this block (derived from
+  /// channel width and topology by the routing graph).
+  SwitchBlock(std::string name, std::size_t num_points,
+              std::size_t num_contexts, SwitchImpl impl);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_points() const { return patterns_.size(); }
+  std::size_t num_contexts() const { return num_contexts_; }
+  SwitchImpl impl() const { return impl_; }
+
+  /// Programs one switch point's on/off pattern across contexts.
+  /// Invalidates any previously built RCM decoder.
+  void program(std::size_t point, const config::ContextPattern& pattern);
+  const config::ContextPattern& pattern(std::size_t point) const;
+
+  /// Pass-gate state of a switch point in a context.  For kRcm the value is
+  /// produced by the synthesized decoder network (built lazily); for
+  /// kConventional it is the stored plane bit.  The two always agree — see
+  /// verify_rcm_equivalence().
+  bool is_on(std::size_t point, std::size_t context) const;
+
+  /// All switch points as bitstream rows (for statistics and area).
+  config::Bitstream to_bitstream() const;
+
+  /// Builds the RCM decoder (if impl is kRcm) and checks it against the
+  /// stored patterns bit-for-bit in every context.
+  bool verify_rcm_equivalence() const;
+
+  /// The decoder realizing this block (kRcm only; built lazily).
+  const rcm::ContextDecoder& decoder() const;
+
+ private:
+  void ensure_decoder() const;
+
+  std::string name_;
+  std::size_t num_contexts_;
+  SwitchImpl impl_;
+  std::vector<config::ContextPattern> patterns_;
+  mutable std::optional<rcm::ContextDecoder> decoder_;
+};
+
+}  // namespace mcfpga::arch

@@ -1,0 +1,117 @@
+// Transistor-weighted area model reproducing the paper's Sec. 5 comparison.
+//
+// Conventional MC-FPGA (the "typical" baseline):
+//   * routing switch (Fig. 2): n SRAM bits + n:1 context mux + pass-gate;
+//   * logic block: fixed base-K LUT with n configuration planes — each of
+//     the 2^K logical bits stores n SRAM bits behind an n:1 context mux —
+//     plus the LUT input mux tree and output flip-flops.
+//
+// Proposed MC-FPGA:
+//   * switch blocks are RCM: per configuration bit, the synthesized SE
+//     decoder network (1 SE for constant/single-ID-bit patterns, a small SE
+//     tree for complex ones) plus input controllers and track crossings;
+//     identical patterns inside one block may share a network, with
+//     additional rows costing a tap (Table 1's inter-row redundancy);
+//   * logic blocks are adaptive MCMG-LUTs: the same SRAM budget, a deeper
+//     input mux tree (plane select folds into the input mux), and a local
+//     RCM-built size controller.
+//
+// The area of the proposed fabric is computed from MEASURED bitstream
+// structure — decoder synthesis runs on every row — so the headline ratio
+// emerges from the data rather than from hard-coded fractions.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "area/device_library.hpp"
+#include "arch/fabric_spec.hpp"
+#include "config/bitstream.hpp"
+
+namespace mcfpga::area {
+
+/// Itemized area (transistor equivalents).
+struct AreaBreakdown {
+  double routing_memory = 0.0;  ///< SRAM / SE storage for routing switches.
+  double routing_mux = 0.0;     ///< Context muxes / SE muxes.
+  double routing_pass = 0.0;    ///< Routing pass-gates and taps.
+  double rcm_overhead = 0.0;    ///< Input controllers + track crossings.
+  double logic_memory = 0.0;    ///< LUT configuration SRAM.
+  double logic_mux = 0.0;       ///< LUT input trees + per-bit context muxes.
+  double logic_control = 0.0;   ///< Size controllers (proposed only).
+  double flip_flops = 0.0;
+  double buffers = 0.0;         ///< ID-bit distribution / wire drivers.
+
+  double total() const;
+};
+
+struct ComparisonOptions {
+  /// Let identical patterns inside one switch block share a decoder
+  /// network (exploits Table 1's inter-row redundancy).  Default on — this
+  /// is the architecture's headline configuration; benches toggle it off
+  /// for the ablation.
+  bool share_identical_patterns = true;
+  /// Device library used for the RCM fine-grained components of the
+  /// PROPOSED fabric (cmos() or fepg()).  The conventional baseline and
+  /// all SRAM/LUT structures are always plain CMOS, matching the paper's
+  /// "typical CMOS-based MC-FPGA" baseline.
+  DeviceLibrary rcm_library = DeviceLibrary::cmos();
+};
+
+struct ComparisonReport {
+  AreaBreakdown conventional;
+  AreaBreakdown proposed;
+  /// Decoder statistics actually measured on the switch bitstreams.
+  std::size_t switch_rows = 0;
+  std::size_t decoder_networks = 0;
+  std::size_t decoder_ses = 0;
+  std::size_t shared_taps = 0;
+
+  double ratio() const {
+    return conventional.total() <= 0.0
+               ? 0.0
+               : proposed.total() / conventional.total();
+  }
+  void print(std::ostream& os, const std::string& title) const;
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(DeviceLibrary base = DeviceLibrary::cmos())
+      : base_(base) {}
+
+  const DeviceLibrary& base_library() const { return base_; }
+
+  /// Conventional multi-context routing switch (Fig. 2).
+  double conventional_switch(std::size_t num_contexts) const;
+  /// One RCM-realized switch block given its rows; fills the counters.
+  AreaBreakdown rcm_switch_block(const config::Bitstream& block_rows,
+                                 const ComparisonOptions& options,
+                                 std::size_t* networks, std::size_t* ses,
+                                 std::size_t* taps) const;
+
+  /// Conventional logic block (fixed planes; per-output).
+  double conventional_logic_block(const lut::LogicBlockSpec& lb) const;
+  /// Proposed adaptive logic block (MCMG + local controller; per-output
+  /// controller cost folded in via controller_ses).
+  double proposed_logic_block(const lut::LogicBlockSpec& lb,
+                              std::size_t controller_ses,
+                              const ComparisonOptions& options) const;
+
+  /// Full-fabric comparison: `switch_blocks` carries one Bitstream per
+  /// physical block (switch block / connection block / diamond group); the
+  /// logic-block population comes from `spec`.
+  ComparisonReport compare_fabric(
+      const arch::FabricSpec& spec,
+      const std::vector<config::Bitstream>& switch_blocks,
+      const ComparisonOptions& options) const;
+
+  /// Prints the bill of materials for both implementations.
+  void describe(std::ostream& os, std::size_t num_contexts) const;
+
+ private:
+  DeviceLibrary base_;
+};
+
+}  // namespace mcfpga::area

@@ -1,0 +1,32 @@
+#include "area/device_library.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::area {
+
+DeviceLibrary DeviceLibrary::cmos() { return DeviceLibrary{}; }
+
+DeviceLibrary DeviceLibrary::fepg() {
+  DeviceLibrary lib;
+  lib.name = "fepg";
+  // Paper: FePG-based SE area = 50% of the CMOS SE (storage and logic
+  // merged at the device level).  For the other fine-grained components
+  // only the storage cell shrinks (6T SRAM -> ~3T ferroelectric cell);
+  // their pass transistors, muxes and track wiring stay CMOS:
+  //   input controller   10 = 6 storage + 4 logic -> 3 + 4 = 7
+  //   programmable switch 7 = 6 storage + 1 pass  -> 3 + 1 = 4
+  //   shared tap          8 = P switch + pass     -> 4 + 1 = 5
+  lib.switch_element = 7.5;
+  lib.input_controller = 7.0;
+  lib.programmable_switch = 4.0;
+  lib.shared_tap = 5.0;
+  lib.non_volatile = true;
+  return lib;
+}
+
+double mux_tree(const DeviceLibrary& lib, std::size_t inputs) {
+  MCFPGA_REQUIRE(inputs >= 1, "mux needs at least one input");
+  return static_cast<double>(inputs - 1) * lib.mux2_stage;
+}
+
+}  // namespace mcfpga::area

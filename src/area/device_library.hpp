@@ -1,0 +1,55 @@
+// Device libraries for the area model (paper Sec. 5, Fig. 15).
+//
+// All areas are in minimum-width-transistor equivalents (the standard
+// FPGA-architecture currency; the paper reports only area *ratios*, which
+// this unit reproduces).  Two libraries are provided:
+//
+//  * cmos(): Fig. 8's switch element as a CMOS circuit — 2 SRAM bits,
+//    a 2:1 pass mux, and a routing pass-gate.
+//  * fepg(): Fig. 15's ferroelectric functional pass-gate realization.
+//    The paper states "the area of an FePG-based SE is 50% of that of a
+//    CMOS-based SE"; we apply the same factor to the other fine-grained
+//    RCM components (programmable switches and input controllers), which
+//    are built from the same merged logic-storage devices.  FePGs are
+//    non-volatile, which zeroes configuration-memory static power.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mcfpga::area {
+
+struct DeviceLibrary {
+  std::string name = "cmos";
+
+  // Primitive costs (minimum-width transistor equivalents).
+  double sram_bit = 6.0;
+  double mux2_stage = 2.0;        ///< One 2:1 pass-transistor mux stage.
+  double pass_gate = 1.0;         ///< Routing pass transistor.
+  double inverter = 2.0;
+  double flip_flop = 20.0;
+  double buffer = 4.0;
+
+  // RCM fine-grained components.
+  double switch_element = 15.0;        ///< Fig. 8: 2 SRAM + mux2 + pass-gate.
+  double input_controller = 10.0;      ///< Fig. 7c: SRAM + mux2 + inverter.
+  double programmable_switch = 7.0;    ///< Fig. 7b: SRAM + pass-gate.
+  /// Tap: re-using an already-generated configuration bit for another
+  /// switch (inter-row redundancy): one track crossing + one pass-gate.
+  double shared_tap = 8.0;
+
+  /// True when configuration storage is non-volatile (FePG): no static
+  /// power in the configuration memory.
+  bool non_volatile = false;
+
+  /// Static leakage per volatile memory bit (arbitrary leak units).
+  double leak_per_bit = 1.0;
+
+  static DeviceLibrary cmos();
+  static DeviceLibrary fepg();
+};
+
+/// Cost of an n:1 mux built from 2:1 stages.
+double mux_tree(const DeviceLibrary& lib, std::size_t inputs);
+
+}  // namespace mcfpga::area

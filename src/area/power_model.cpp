@@ -1,0 +1,32 @@
+#include "area/power_model.hpp"
+
+#include "common/error.hpp"
+#include "config/context_id.hpp"
+
+namespace mcfpga::area {
+
+PowerReport estimate_power(std::size_t total_config_bits,
+                           const DeviceLibrary& lib,
+                           const config::BitstreamStats& stats,
+                           const PowerParams& params) {
+  PowerReport report;
+  if (lib.non_volatile) {
+    report.nonvolatile_bits = total_config_bits;
+    report.static_power = 0.0;
+  } else {
+    report.volatile_bits = total_config_bits;
+    report.static_power =
+        static_cast<double>(total_config_bits) * params.leak_per_bit *
+        lib.leak_per_bit;
+  }
+  const double toggled_bits =
+      stats.avg_change_rate * static_cast<double>(stats.num_rows);
+  const std::size_t id_bits =
+      stats.num_contexts >= 2 ? config::num_id_bits(stats.num_contexts) : 1;
+  report.switch_energy =
+      toggled_bits * params.toggle_energy +
+      static_cast<double>(id_bits) * params.id_broadcast_energy;
+  return report;
+}
+
+}  // namespace mcfpga::area

@@ -1,0 +1,36 @@
+// Power model (paper Sec. 5): the FePG's second selling point is static
+// power — configuration data lives in non-volatile ferroelectric devices,
+// so the configuration memory stops leaking.  Dynamic context-switch energy
+// scales with the configuration bits that toggle (small, by the paper's
+// <3-5% change-rate premise) plus the ID-bit broadcast.
+#pragma once
+
+#include <cstddef>
+
+#include "area/device_library.hpp"
+#include "config/stats.hpp"
+
+namespace mcfpga::area {
+
+struct PowerParams {
+  double leak_per_bit = 1.0;       ///< Static leak per volatile config bit.
+  double toggle_energy = 1.0;      ///< Energy per toggled config bit.
+  double id_broadcast_energy = 4.0;  ///< Per ID bit per context switch.
+};
+
+struct PowerReport {
+  double static_power = 0.0;          ///< Leak units.
+  double switch_energy = 0.0;         ///< Energy per average context switch.
+  std::size_t volatile_bits = 0;
+  std::size_t nonvolatile_bits = 0;
+};
+
+/// Static + context-switch power for a fabric whose configuration state is
+/// `total_config_bits` bits realized in `lib`, with the measured change
+/// behaviour in `stats`.
+PowerReport estimate_power(std::size_t total_config_bits,
+                           const DeviceLibrary& lib,
+                           const config::BitstreamStats& stats,
+                           const PowerParams& params = {});
+
+}  // namespace mcfpga::area

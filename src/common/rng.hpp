@@ -1,0 +1,31 @@
+// Deterministic random-number generation for workload synthesis and the
+// simulated-annealing placer.  xoshiro256** is used instead of std::mt19937
+// for speed and for bit-for-bit reproducibility across standard libraries
+// (libstdc++ and libc++ disagree on distribution outputs; we implement our
+// own bounded-draw helpers so seeds give identical workloads everywhere).
+#pragma once
+
+#include <cstdint>
+
+namespace mcfpga {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcfpga

@@ -1,0 +1,24 @@
+// Small string/format helpers (GCC 12 lacks std::format, so benches and
+// reports use these instead).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcfpga {
+
+/// Fixed-precision double formatting ("3.142" for (pi, 3)).
+std::string fmt_double(double value, int precision);
+/// Percentage formatting: fmt_percent(0.4512, 1) == "45.1%".
+std::string fmt_percent(double fraction, int precision = 1);
+/// Thousands-separated integer: fmt_count(1234567) == "1,234,567".
+std::string fmt_count(std::uint64_t value);
+/// Left/right padding to a field width.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace mcfpga

@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace mcfpga {
+
+namespace {
+// A cell is "numeric" (right-aligned) if it starts with a digit, sign, or dot.
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  const char c = s.front();
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '+' || c == '.';
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MCFPGA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MCFPGA_REQUIRE(row.size() == header_.size(),
+                 "row arity must match header arity");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    os << '+';
+    for (const auto w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells,
+                               bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = align_numeric && looks_numeric(cells[c]);
+      os << ' '
+         << (right ? pad_left(cells[c], widths[c])
+                   : pad_right(cells[c], widths[c]))
+         << " |";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(header_, /*align_numeric=*/false);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells, /*align_numeric=*/true);
+    }
+  }
+  print_rule();
+}
+
+}  // namespace mcfpga

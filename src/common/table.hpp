@@ -1,0 +1,33 @@
+// ASCII table printer used by every bench binary to regenerate the paper's
+// tables in a uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcfpga {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders with column alignment (numbers right-aligned heuristically).
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mcfpga

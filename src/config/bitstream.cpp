@@ -1,0 +1,63 @@
+#include "config/bitstream.hpp"
+
+#include "common/error.hpp"
+#include "config/context_id.hpp"
+
+namespace mcfpga::config {
+
+std::string to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kRoutingSwitch:
+      return "routing-switch";
+    case ResourceKind::kLutBit:
+      return "lut-bit";
+    case ResourceKind::kControlBit:
+      return "control-bit";
+  }
+  return "?";
+}
+
+Bitstream::Bitstream(std::size_t num_contexts) : num_contexts_(num_contexts) {
+  MCFPGA_REQUIRE(is_valid_context_count(num_contexts),
+                 "context count must be a power of two in [2, 64]");
+}
+
+std::size_t Bitstream::add_row(std::string name, ResourceKind kind,
+                               ContextPattern pattern) {
+  MCFPGA_REQUIRE(pattern.num_contexts() == num_contexts_,
+                 "row context count must match bitstream context count");
+  rows_.push_back(BitstreamRow{std::move(name), kind, std::move(pattern)});
+  return rows_.size() - 1;
+}
+
+const BitstreamRow& Bitstream::row(std::size_t index) const {
+  MCFPGA_REQUIRE(index < rows_.size(), "row index out of range");
+  return rows_[index];
+}
+
+std::size_t Bitstream::count_kind(ResourceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (row.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+BitVector Bitstream::plane(std::size_t context) const {
+  MCFPGA_REQUIRE(context < num_contexts_, "context out of range");
+  BitVector plane(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    plane.set(i, rows_[i].pattern.value_in(context));
+  }
+  return plane;
+}
+
+void Bitstream::append(const Bitstream& other) {
+  MCFPGA_REQUIRE(other.num_contexts_ == num_contexts_,
+                 "appended bitstream must have the same context count");
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
+}  // namespace mcfpga::config

@@ -1,0 +1,27 @@
+#include "config/context_id.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace mcfpga::config {
+
+bool is_valid_context_count(std::size_t n) {
+  return n >= 2 && n <= 64 && std::has_single_bit(n);
+}
+
+std::size_t num_id_bits(std::size_t num_contexts) {
+  MCFPGA_REQUIRE(is_valid_context_count(num_contexts),
+                 "context count must be a power of two in [2, 64]");
+  return static_cast<std::size_t>(std::countr_zero(num_contexts));
+}
+
+bool id_bit_value(std::size_t context, std::size_t bit) {
+  return (context >> bit) & 1u;
+}
+
+std::string id_bit_name(std::size_t bit, bool inverted) {
+  return (inverted ? "~S" : "S") + std::to_string(bit);
+}
+
+}  // namespace mcfpga::config

@@ -1,0 +1,28 @@
+// Context-ID encoding (paper Table 2).
+//
+// An n-context fabric broadcasts ceil(log2 n) context-ID bits (S0, S1, ...)
+// on global wires.  Context c is encoded as the binary value of c: bit Sj of
+// context c is (c >> j) & 1.  For the paper's 4-context example this gives
+// exactly Table 2: S0 = 0,1,0,1 and S1 = 0,0,1,1 across contexts 0..3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mcfpga::config {
+
+/// Number of context-ID bits needed to address `num_contexts` contexts.
+/// num_contexts must be a power of two >= 2 (the paper's fabrics always
+/// use full ID-bit ranges; 4 contexts -> 2 bits).
+std::size_t num_id_bits(std::size_t num_contexts);
+
+/// True iff n is a supported context count (power of two, 2..64).
+bool is_valid_context_count(std::size_t n);
+
+/// Value of ID bit Sj in context `context`.
+bool id_bit_value(std::size_t context, std::size_t bit);
+
+/// Human-readable name of an ID-bit source: "S0", "~S1", ...
+std::string id_bit_name(std::size_t bit, bool inverted);
+
+}  // namespace mcfpga::config

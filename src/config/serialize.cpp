@@ -1,0 +1,123 @@
+#include "config/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "config/context_id.hpp"
+
+namespace mcfpga::config {
+
+namespace {
+
+constexpr const char* kMagic = "mcfpga-bitstream v1";
+
+ResourceKind parse_kind(const std::string& token, std::size_t line) {
+  if (token == "routing-switch") {
+    return ResourceKind::kRoutingSwitch;
+  }
+  if (token == "lut-bit") {
+    return ResourceKind::kLutBit;
+  }
+  if (token == "control-bit") {
+    return ResourceKind::kControlBit;
+  }
+  throw InvalidArgument("bitstream line " + std::to_string(line) +
+                        ": unknown resource kind '" + token + "'");
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw InvalidArgument("bitstream line " + std::to_string(line) + ": " +
+                        what);
+}
+
+}  // namespace
+
+void write_bitstream(std::ostream& os, const Bitstream& bitstream) {
+  os << kMagic << "\n";
+  os << "contexts " << bitstream.num_contexts() << "\n";
+  os << "rows " << bitstream.num_rows() << "\n";
+  for (const auto& row : bitstream.rows()) {
+    os << row.name << ' ' << to_string(row.kind) << ' '
+       << row.pattern.to_string() << "\n";
+  }
+}
+
+std::string to_text(const Bitstream& bitstream) {
+  std::ostringstream os;
+  write_bitstream(os, bitstream);
+  return os.str();
+}
+
+Bitstream read_bitstream(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 1;
+
+  if (!std::getline(is, line) || line != kMagic) {
+    fail(line_no, "expected header '" + std::string(kMagic) + "'");
+  }
+
+  ++line_no;
+  std::size_t num_contexts = 0;
+  {
+    std::string key;
+    if (!std::getline(is, line)) {
+      fail(line_no, "missing 'contexts' line");
+    }
+    std::istringstream ls(line);
+    if (!(ls >> key >> num_contexts) || key != "contexts") {
+      fail(line_no, "malformed 'contexts' line");
+    }
+  }
+  if (!is_valid_context_count(num_contexts)) {
+    fail(line_no, "invalid context count " + std::to_string(num_contexts));
+  }
+
+  ++line_no;
+  std::size_t rows = 0;
+  {
+    std::string key;
+    if (!std::getline(is, line)) {
+      fail(line_no, "missing 'rows' line");
+    }
+    std::istringstream ls(line);
+    if (!(ls >> key >> rows) || key != "rows") {
+      fail(line_no, "malformed 'rows' line");
+    }
+  }
+
+  Bitstream bs(num_contexts);
+  for (std::size_t r = 0; r < rows; ++r) {
+    ++line_no;
+    if (!std::getline(is, line)) {
+      fail(line_no, "expected " + std::to_string(rows) + " rows, got " +
+                        std::to_string(r));
+    }
+    std::istringstream ls(line);
+    std::string name;
+    std::string kind;
+    std::string bits;
+    if (!(ls >> name >> kind >> bits)) {
+      fail(line_no, "malformed row (need: name kind pattern)");
+    }
+    if (bits.size() != num_contexts) {
+      fail(line_no, "pattern width " + std::to_string(bits.size()) +
+                        " != contexts " + std::to_string(num_contexts));
+    }
+    try {
+      bs.add_row(std::move(name), parse_kind(kind, line_no),
+                 ContextPattern::from_string(bits));
+    } catch (const InvalidArgument& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return bs;
+}
+
+Bitstream from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_bitstream(is);
+}
+
+}  // namespace mcfpga::config

@@ -1,0 +1,33 @@
+// Textual bitstream serialization.
+//
+// A stable, diffable, line-oriented format so bitstreams can be archived,
+// compared across tool versions, and fed to external analysis:
+//
+//   mcfpga-bitstream v1
+//   contexts 4
+//   rows 3
+//   sb(0,0).p0 routing-switch 0101
+//   lb(1,2).out0[7] lut-bit 1111
+//   lb(1,2).mode0 control-bit 0000
+//
+// Patterns are written MSB-first (C_{n-1}..C_0), matching the paper's
+// figures and ContextPattern::to_string().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "config/bitstream.hpp"
+
+namespace mcfpga::config {
+
+/// Writes the v1 text format.
+void write_bitstream(std::ostream& os, const Bitstream& bitstream);
+std::string to_text(const Bitstream& bitstream);
+
+/// Parses the v1 text format; throws InvalidArgument with a line number on
+/// any malformed input.
+Bitstream read_bitstream(std::istream& is);
+Bitstream from_text(const std::string& text);
+
+}  // namespace mcfpga::config

@@ -1,0 +1,79 @@
+// Redundancy and regularity statistics over a multi-context bitstream
+// (paper Section 2, Table 1, and the <3-5% change-rate assumption from
+// [Kennedy, FPL'03] used throughout the evaluation).
+//
+// Three forms of structure are quantified:
+//  * self-redundancy   — rows whose value never changes across contexts
+//                        (Table 1: G3, G9);
+//  * inter-row redundancy — distinct rows with identical patterns
+//                        (Table 1: G2 == G4);
+//  * regularity        — periodic patterns such as (0,1,0,1) that equal a
+//                        context-ID bit and are thus hardware-generable
+//                        (Table 1: G2/G4 "repeating bits in an order (0,1)").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "config/bitstream.hpp"
+#include "config/pattern.hpp"
+
+namespace mcfpga::config {
+
+struct BitstreamStats {
+  std::size_t num_rows = 0;
+  std::size_t num_contexts = 0;
+
+  /// Rows per pattern class (Figs. 3-5 taxonomy).
+  std::size_t constant_rows = 0;
+  std::size_t single_bit_rows = 0;
+  std::size_t complex_rows = 0;
+
+  /// Fraction of rows that are NOT constant (i.e. change at least once).
+  double changing_row_fraction = 0.0;
+
+  /// Average fraction of bits that differ between consecutive contexts
+  /// (context c vs c+1, averaged over c; the paper's "change rate").
+  double avg_change_rate = 0.0;
+  /// Worst consecutive-context change rate.
+  double max_change_rate = 0.0;
+
+  /// Number of distinct patterns and the size of the largest identical group.
+  std::size_t distinct_patterns = 0;
+  std::size_t largest_identical_group = 0;
+  /// Rows that share their pattern with at least one other row.
+  std::size_t rows_in_shared_groups = 0;
+
+  /// Histogram of smallest periods (regularity): period -> row count.
+  std::map<std::size_t, std::size_t> period_histogram;
+
+  double constant_fraction() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(constant_rows) / num_rows;
+  }
+  double single_bit_fraction() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(single_bit_rows) / num_rows;
+  }
+  double complex_fraction() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(complex_rows) / num_rows;
+  }
+};
+
+/// Computes all statistics in one pass over the bitstream.
+BitstreamStats compute_stats(const Bitstream& bitstream);
+
+/// Pretty-prints the statistics as a report block.
+void print_stats(std::ostream& os, const BitstreamStats& stats,
+                 const std::string& title);
+
+/// Builds the paper's Table 1 example verbatim (switches G1..G9 of Fig. 1's
+/// switch block, 4 contexts).  Used by tests and the Table-1 bench as a
+/// ground-truth fixture.
+Bitstream paper_table1_example();
+
+}  // namespace mcfpga::config

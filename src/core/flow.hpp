@@ -1,0 +1,90 @@
+// End-to-end compilation flow: multi-context netlist -> programmed fabric.
+//
+// Pipeline (the "mapping tools" the paper defers to future work, built here
+// so the architecture can be exercised):
+//   1. tech map       — Shannon-decompose ops to the single-plane LUT size;
+//   2. sharing        — structural hashing across contexts (Fig. 14a);
+//   3. plane alloc    — classes -> MCMG-LUT slots + granularity (Sec. 4);
+//   4. clustering     — slots -> logic blocks (shared input pins);
+//   5. placement      — simulated annealing over the cell grid;
+//   6. routing        — PathFinder per context over the RRG (Sec. 3);
+//   7. programming    — LUT plane tables over pin addresses, switch
+//                       patterns, pad bindings, full fabric bitstream.
+//
+// The result carries everything needed to simulate, time, and price the
+// design on both the conventional and the proposed fabric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/routing_graph.hpp"
+#include "config/bitstream.hpp"
+#include "mapping/plane_alloc.hpp"
+#include "netlist/dfg.hpp"
+#include "netlist/sharing.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcfpga::core {
+
+struct CompileOptions {
+  std::uint64_t seed = 1;
+  place::PlacerOptions placer{};
+  route::RouterOptions router{};
+  /// Grow the fabric (square-ish) until clusters and I/O fit.
+  bool auto_size = true;
+};
+
+/// One logic block's worth of slots.
+struct Cluster {
+  std::vector<std::size_t> slots;       ///< Slot ids (<= LB outputs).
+  lut::LutMode mode;
+  /// Class ids feeding the LB input pins, pin i = pin_signals[i].
+  std::vector<std::size_t> pin_signals;
+};
+
+struct ContextStats {
+  std::size_t nets = 0;
+  std::size_t wire_nodes_used = 0;
+  std::size_t switches_crossed = 0;  ///< Sum over all connections.
+  double critical_path = 0.0;        ///< From the SE delay model.
+};
+
+struct CompiledDesign {
+  arch::FabricSpec fabric;               ///< Possibly auto-grown.
+  netlist::MultiContextNetlist netlist;  ///< Post tech-map.
+  netlist::SharingAnalysis sharing;
+  mapping::PlaneAllocation planes;
+
+  std::vector<Cluster> clusters;
+  std::vector<std::size_t> slot_cluster;  ///< slot -> cluster.
+  std::vector<std::size_t> slot_output;   ///< slot -> LB output index.
+
+  place::Placement placement;
+  route::RouteResult routing;
+  sim::FabricProgram program;
+
+  /// Complete fabric bitstream: every routing switch, every LUT bit,
+  /// every control bit (the input to the Sec. 5 area comparison and the
+  /// Table 1 statistics).
+  config::Bitstream full_bitstream;
+
+  std::vector<ContextStats> context_stats;
+
+  /// Primary I/O name -> placement terminal index.
+  std::map<std::string, std::size_t> input_terminals;
+  std::map<std::string, std::size_t> output_terminals;
+};
+
+/// Compiles `netlist` onto a fabric derived from `spec`.
+/// Throws FlowError when the design cannot be mapped/placed/routed.
+CompiledDesign compile(const netlist::MultiContextNetlist& netlist,
+                       const arch::FabricSpec& spec,
+                       const CompileOptions& options = {});
+
+}  // namespace mcfpga::core

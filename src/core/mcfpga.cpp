@@ -1,0 +1,79 @@
+#include "core/mcfpga.hpp"
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "netlist/eval.hpp"
+
+namespace mcfpga::core {
+
+MCFPGA::MCFPGA(const netlist::MultiContextNetlist& netlist,
+               const arch::FabricSpec& spec, const CompileOptions& options)
+    : design_(compile(netlist, spec, options)) {
+  graph_ = std::make_unique<arch::RoutingGraph>(design_.fabric);
+  simulator_ =
+      std::make_unique<sim::FabricSimulator>(*graph_, design_.program);
+}
+
+netlist::ValueMap MCFPGA::run(std::size_t context,
+                              const netlist::ValueMap& inputs) const {
+  return simulator_->eval(context, inputs);
+}
+
+std::size_t MCFPGA::verify(std::size_t vectors, std::uint64_t seed) const {
+  Rng rng(seed);
+  std::size_t mismatches = 0;
+  for (std::size_t c = 0; c < design_.fabric.num_contexts; ++c) {
+    const netlist::Dfg& dfg = design_.netlist.context(c);
+    for (std::size_t v = 0; v < vectors; ++v) {
+      netlist::ValueMap inputs;
+      for (const auto& node : dfg.nodes()) {
+        if (node.type == netlist::NodeType::kPrimaryInput) {
+          inputs[node.name] = rng.next_bool();
+        }
+      }
+      const netlist::ValueMap expected = netlist::evaluate(dfg, inputs);
+      const netlist::ValueMap actual = simulator_->eval(c, inputs);
+      for (const auto& [name, value] : expected) {
+        const auto it = actual.find(name);
+        if (it == actual.end() || it->second != value) {
+          ++mismatches;
+        }
+      }
+    }
+  }
+  return mismatches;
+}
+
+config::BitstreamStats MCFPGA::bitstream_stats() const {
+  return config::compute_stats(design_.full_bitstream);
+}
+
+area::ComparisonReport MCFPGA::area_report(
+    const area::ComparisonOptions& options) const {
+  // Group the routing switches into their owning physical blocks; decoder
+  // sharing (when enabled) happens within a block, never across blocks.
+  std::map<std::tuple<arch::SwitchOwner, std::int32_t, std::int32_t>,
+           config::Bitstream>
+      blocks;
+  const std::size_t n = design_.fabric.num_contexts;
+  for (std::size_t s = 0; s < graph_->num_switches(); ++s) {
+    const auto& sw = graph_->rr_switch(static_cast<arch::SwitchId>(s));
+    const auto key = std::make_tuple(sw.owner, sw.x, sw.y);
+    auto it = blocks.find(key);
+    if (it == blocks.end()) {
+      it = blocks.emplace(key, config::Bitstream(n)).first;
+    }
+    it->second.add_row(sw.name, config::ResourceKind::kRoutingSwitch,
+                       design_.routing.switch_patterns[s]);
+  }
+  std::vector<config::Bitstream> block_list;
+  block_list.reserve(blocks.size());
+  for (auto& [key, bs] : blocks) {
+    block_list.push_back(std::move(bs));
+  }
+  const area::AreaModel model;
+  return model.compare_fabric(design_.fabric, block_list, options);
+}
+
+}  // namespace mcfpga::core

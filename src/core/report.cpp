@@ -1,0 +1,45 @@
+#include "core/report.hpp"
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "config/stats.hpp"
+
+namespace mcfpga::core {
+
+void print_design_report(std::ostream& os, const CompiledDesign& design) {
+  os << "== compiled design ==\n";
+  os << "fabric: " << design.fabric.describe() << "\n";
+
+  Table t({"metric", "value"});
+  t.add_row({"LUT ops (post tech-map)",
+             fmt_count(design.netlist.total_lut_ops())});
+  t.add_row({"sharing classes (LUT)",
+             fmt_count(design.sharing.shared_lut_classes())});
+  t.add_row({"LUT ops merged away",
+             fmt_count(design.sharing.merged_lut_ops())});
+  t.add_row({"slots", fmt_count(design.planes.num_slots())});
+  t.add_row({"logic blocks", fmt_count(design.clusters.size())});
+  t.add_row({"LUT memory used (bits)", fmt_count(design.planes.used_bits())});
+  t.add_row(
+      {"LUT memory duplicated (bits)", fmt_count(design.planes.duplicated_bits())});
+  t.add_row({"size-controller SEs",
+             fmt_count(design.planes.controller_se_cost())});
+  t.add_row({"placement cost (HPWL)", fmt_double(design.placement.cost, 1)});
+  t.add_row({"bitstream rows", fmt_count(design.full_bitstream.num_rows())});
+  t.print(os);
+
+  Table ct({"context", "nets", "switches crossed", "critical path (SE units)"});
+  for (std::size_t c = 0; c < design.context_stats.size(); ++c) {
+    const auto& s = design.context_stats[c];
+    ct.add_row({std::to_string(c), fmt_count(s.nets),
+                fmt_count(s.switches_crossed),
+                fmt_double(s.critical_path, 1)});
+  }
+  ct.print(os);
+
+  const config::BitstreamStats stats =
+      config::compute_stats(design.full_bitstream);
+  config::print_stats(os, stats, "fabric bitstream statistics");
+}
+
+}  // namespace mcfpga::core

@@ -1,0 +1,14 @@
+// Human-readable reports over compiled designs (used by examples/benches).
+#pragma once
+
+#include <ostream>
+
+#include "core/flow.hpp"
+
+namespace mcfpga::core {
+
+/// Prints a one-screen summary: fabric, mapping, clustering, placement,
+/// routing and timing statistics.
+void print_design_report(std::ostream& os, const CompiledDesign& design);
+
+}  // namespace mcfpga::core

@@ -1,0 +1,28 @@
+#include "lut/logic_block.hpp"
+
+namespace mcfpga::lut {
+
+std::string to_string(SizeControl control) {
+  switch (control) {
+    case SizeControl::kGlobal:
+      return "global";
+    case SizeControl::kLocal:
+      return "local";
+  }
+  return "?";
+}
+
+LogicBlock::LogicBlock(LogicBlockSpec spec)
+    : spec_(spec),
+      lut_(spec.base_inputs, spec.num_contexts, spec.num_outputs) {}
+
+std::size_t LogicBlock::controller_se_cost() const {
+  if (spec_.control == SizeControl::kGlobal) {
+    return 0;
+  }
+  // One SE steers one context-ID bit into the LUT address mux; a
+  // single-plane block steers none and costs nothing.
+  return lut_.id_bits_used();
+}
+
+}  // namespace mcfpga::lut

@@ -1,0 +1,124 @@
+#include "lut/mcmg_lut.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "config/context_id.hpp"
+#include "config/pattern.hpp"
+
+namespace mcfpga::lut {
+
+std::string LutMode::describe() const {
+  return std::to_string(inputs) + "-input LUT x " + std::to_string(planes) +
+         (planes == 1 ? " plane" : " planes");
+}
+
+McmgLut::McmgLut(std::size_t base_inputs, std::size_t num_contexts,
+                 std::size_t num_outputs)
+    : base_inputs_(base_inputs),
+      num_contexts_(num_contexts),
+      num_outputs_(num_outputs) {
+  MCFPGA_REQUIRE(base_inputs >= 1 && base_inputs <= 8,
+                 "base LUT inputs must be in [1, 8]");
+  MCFPGA_REQUIRE(config::is_valid_context_count(num_contexts),
+                 "context count must be a power of two in [2, 64]");
+  MCFPGA_REQUIRE(num_outputs >= 1 && num_outputs <= 8,
+                 "output count must be in [1, 8]");
+  // Default mode: all ID bits used for plane select (smallest LUT).
+  set_mode(LutMode{base_inputs_, num_contexts_});
+}
+
+std::size_t McmgLut::memory_bits_per_output() const {
+  return (std::size_t{1} << base_inputs_) * num_contexts_;
+}
+
+std::size_t McmgLut::total_memory_bits() const {
+  return memory_bits_per_output() * num_outputs_;
+}
+
+std::vector<LutMode> McmgLut::available_modes() const {
+  std::vector<LutMode> modes;
+  const std::size_t k = config::num_id_bits(num_contexts_);
+  for (std::size_t j = k + 1; j-- > 0;) {
+    modes.push_back(
+        LutMode{base_inputs_ + (k - j), std::size_t{1} << j});
+  }
+  return modes;
+}
+
+std::size_t McmgLut::max_inputs() const {
+  return base_inputs_ + config::num_id_bits(num_contexts_);
+}
+
+void McmgLut::set_mode(LutMode mode) {
+  MCFPGA_REQUIRE(mode.planes >= 1 && std::has_single_bit(mode.planes),
+                 "plane count must be a power of two");
+  MCFPGA_REQUIRE(mode.planes <= num_contexts_,
+                 "plane count cannot exceed context count");
+  MCFPGA_REQUIRE(
+      (std::size_t{1} << mode.inputs) * mode.planes ==
+          memory_bits_per_output(),
+      "mode must exactly tile the memory budget (2^inputs * planes)");
+  mode_ = mode;
+  memory_.assign(num_outputs_,
+                 std::vector<BitVector>(
+                     mode.planes, BitVector(std::size_t{1} << mode.inputs)));
+}
+
+std::size_t McmgLut::id_bits_used() const {
+  return static_cast<std::size_t>(std::countr_zero(mode_.planes));
+}
+
+void McmgLut::check_output(std::size_t output) const {
+  MCFPGA_REQUIRE(output < num_outputs_, "output index out of range");
+}
+
+void McmgLut::program_plane(std::size_t output, std::size_t plane,
+                            const BitVector& truth_table) {
+  check_output(output);
+  MCFPGA_REQUIRE(plane < mode_.planes, "plane index out of range");
+  MCFPGA_REQUIRE(truth_table.size() == (std::size_t{1} << mode_.inputs),
+                 "truth table must have 2^inputs bits");
+  memory_[output][plane] = truth_table;
+}
+
+const BitVector& McmgLut::plane_memory(std::size_t output,
+                                       std::size_t plane) const {
+  check_output(output);
+  MCFPGA_REQUIRE(plane < mode_.planes, "plane index out of range");
+  return memory_[output][plane];
+}
+
+std::size_t McmgLut::plane_for_context(std::size_t context) const {
+  MCFPGA_REQUIRE(context < num_contexts_, "context out of range");
+  return context & (mode_.planes - 1);
+}
+
+bool McmgLut::eval(std::size_t output, const BitVector& inputs,
+                   std::size_t context) const {
+  check_output(output);
+  MCFPGA_REQUIRE(inputs.size() == mode_.inputs,
+                 "input arity must match the current mode");
+  const std::size_t address = static_cast<std::size_t>(inputs.to_word());
+  return memory_[output][plane_for_context(context)].get(address);
+}
+
+config::Bitstream McmgLut::conventional_view_rows(
+    const std::string& prefix) const {
+  config::Bitstream bs(num_contexts_);
+  for (std::size_t o = 0; o < num_outputs_; ++o) {
+    const std::size_t addresses = std::size_t{1} << mode_.inputs;
+    for (std::size_t a = 0; a < addresses; ++a) {
+      config::ContextPattern pattern(num_contexts_);
+      for (std::size_t c = 0; c < num_contexts_; ++c) {
+        pattern.set_value(c, memory_[o][plane_for_context(c)].get(a));
+      }
+      bs.add_row(prefix + ".out" + std::to_string(o) + "[" +
+                     std::to_string(a) + "]",
+                 config::ResourceKind::kLutBit, std::move(pattern));
+    }
+  }
+  return bs;
+}
+
+}  // namespace mcfpga::lut

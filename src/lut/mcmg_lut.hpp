@@ -1,0 +1,95 @@
+// Multi-context multi-granularity LUT (MCMG-LUT, paper Sec. 4, Fig. 12).
+//
+// An MCMG-LUT owns a fixed memory budget of  2^base_inputs * num_contexts
+// bits per output and can trade configuration planes for LUT inputs:
+//
+//   mode j (j = ID bits used for plane select, 0 <= j <= log2 contexts):
+//     planes = 2^j,  inputs = base_inputs + log2(contexts) - j
+//
+// For the paper's 4-context, base-4 example this is exactly Fig. 12:
+// a 4-input LUT with four configuration planes (j = 2, S1 S0 both used) or
+// a 5-input LUT with two planes (j = 1, only S0 used) — or a 6-input LUT
+// with a single context-independent plane (j = 0).
+//
+// The plane selected in context c uses the LOW j context-ID bits
+// (plane = c mod planes), matching Fig. 12(b) where the 5-input mode keys
+// its two planes off S0 alone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "config/bitstream.hpp"
+
+namespace mcfpga::lut {
+
+/// One granularity setting of an MCMG-LUT.
+struct LutMode {
+  std::size_t inputs = 0;
+  std::size_t planes = 0;
+
+  bool operator==(const LutMode&) const = default;
+  std::string describe() const;
+};
+
+class McmgLut {
+ public:
+  /// base_inputs: LUT inputs when all ID bits are used for plane select
+  /// (the paper's examples use 4).  num_outputs models the paper's
+  /// "6-input 2-output MCMG-LUT" logic blocks: outputs share the input pins
+  /// and the mode but have independent truth-table memory.
+  McmgLut(std::size_t base_inputs, std::size_t num_contexts,
+          std::size_t num_outputs = 1);
+
+  std::size_t base_inputs() const { return base_inputs_; }
+  std::size_t num_contexts() const { return num_contexts_; }
+  std::size_t num_outputs() const { return num_outputs_; }
+  /// Memory budget per output in bits (mode-independent by construction).
+  std::size_t memory_bits_per_output() const;
+  /// Total memory bits across outputs.
+  std::size_t total_memory_bits() const;
+
+  /// All legal (inputs, planes) settings, largest plane count first.
+  std::vector<LutMode> available_modes() const;
+  /// Largest input count (single-plane mode).
+  std::size_t max_inputs() const;
+
+  /// Selects the granularity; clears all truth-table memory.
+  void set_mode(LutMode mode);
+  LutMode mode() const { return mode_; }
+  /// Context-ID bits consumed by the plane select in the current mode.
+  std::size_t id_bits_used() const;
+
+  /// Programs one plane of one output with a 2^inputs-bit truth table.
+  void program_plane(std::size_t output, std::size_t plane,
+                     const BitVector& truth_table);
+  const BitVector& plane_memory(std::size_t output, std::size_t plane) const;
+
+  /// Configuration plane used in a context (low id_bits_used() ID bits).
+  std::size_t plane_for_context(std::size_t context) const;
+
+  /// Evaluates output `output` for computation inputs `inputs`
+  /// (inputs.size() == mode().inputs) in `context`.
+  bool eval(std::size_t output, const BitVector& inputs,
+            std::size_t context) const;
+
+  /// Exports the truth-table memory as conventional-view bitstream rows:
+  /// one row per (output, address), with the pattern the bit would follow
+  /// across contexts.  This is what the redundancy statistics and the
+  /// conventional-baseline area model consume.
+  config::Bitstream conventional_view_rows(const std::string& prefix) const;
+
+ private:
+  void check_output(std::size_t output) const;
+
+  std::size_t base_inputs_;
+  std::size_t num_contexts_;
+  std::size_t num_outputs_;
+  LutMode mode_;
+  /// memory_[output][plane] = truth table (2^mode_.inputs bits).
+  std::vector<std::vector<BitVector>> memory_;
+};
+
+}  // namespace mcfpga::lut

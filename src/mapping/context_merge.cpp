@@ -1,0 +1,40 @@
+#include "mapping/context_merge.hpp"
+
+#include <algorithm>
+
+namespace mcfpga::mapping {
+
+std::vector<ClassUse> lut_class_uses(
+    const netlist::MultiContextNetlist& netlist,
+    const netlist::SharingAnalysis& sharing) {
+  std::vector<ClassUse> uses;
+  for (const auto& cls : sharing.classes) {
+    if (cls.arity == 0) {
+      continue;  // primary-input class
+    }
+    ClassUse use;
+    use.cls = cls.id;
+    use.arity = cls.arity;
+    use.representative = cls.members.front();
+    for (const auto& [context, node] : cls.members) {
+      use.contexts.push_back(context);
+    }
+    std::sort(use.contexts.begin(), use.contexts.end());
+    use.contexts.erase(
+        std::unique(use.contexts.begin(), use.contexts.end()),
+        use.contexts.end());
+
+    const auto& [rep_ctx, rep_node] = use.representative;
+    const auto& n = netlist.context(rep_ctx).node(rep_node);
+    use.truth_table = n.truth_table;
+    use.fanin_classes.reserve(n.fanins.size());
+    for (const auto f : n.fanins) {
+      use.fanin_classes.push_back(
+          sharing.class_of[rep_ctx][static_cast<std::size_t>(f)]);
+    }
+    uses.push_back(std::move(use));
+  }
+  return uses;
+}
+
+}  // namespace mcfpga::mapping

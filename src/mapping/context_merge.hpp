@@ -1,0 +1,34 @@
+// Context merging: turns the sharing analysis into the per-class usage
+// records that plane allocation consumes (paper Fig. 14a — the "redrawn
+// DFG" in which nodes shared between contexts appear once).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/dfg.hpp"
+#include "netlist/sharing.hpp"
+
+namespace mcfpga::mapping {
+
+/// One LUT-operation sharing class and the contexts that evaluate it.
+struct ClassUse {
+  std::size_t cls = 0;                 ///< Sharing-class id.
+  std::vector<std::size_t> contexts;   ///< Sorted, unique.
+  std::size_t arity = 0;
+  /// Truth table of the class function (identical for all members).
+  BitVector truth_table;
+  /// Fanin class ids (identical for all members by construction).
+  std::vector<std::size_t> fanin_classes;
+  /// Representative member, for name lookups: (context, node).
+  std::pair<std::size_t, netlist::NodeRef> representative{0, 0};
+
+  bool is_shared() const { return contexts.size() > 1; }
+};
+
+/// Extracts all LUT-op classes (primary-input classes are skipped).
+std::vector<ClassUse> lut_class_uses(
+    const netlist::MultiContextNetlist& netlist,
+    const netlist::SharingAnalysis& sharing);
+
+}  // namespace mcfpga::mapping

@@ -1,0 +1,262 @@
+#include "mapping/plane_alloc.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "config/context_id.hpp"
+
+namespace mcfpga::mapping {
+
+namespace {
+
+struct ModeFit {
+  lut::LutMode mode;
+  std::size_t used_bits = 0;
+  std::size_t duplicated_bits = 0;
+  std::vector<std::vector<std::size_t>> entry_planes;
+};
+
+std::size_t log2_exact(std::size_t v) {
+  return static_cast<std::size_t>(std::countr_zero(v));
+}
+
+/// Tests whether `uses` can cohabit one slot in a `p`-plane mode.
+std::optional<ModeFit> try_mode(const std::vector<ClassUse>& uses,
+                                std::size_t base_inputs,
+                                std::size_t num_contexts, std::size_t p) {
+  const std::size_t k =
+      base_inputs + log2_exact(num_contexts) - log2_exact(p);
+  ModeFit fit;
+  fit.mode = lut::LutMode{k, p};
+  std::vector<std::size_t> plane_claim(p, SIZE_MAX);
+
+  // The slot's entries share the LUT's physical input pins, so the union
+  // of their fanin signals must fit the mode's input count.
+  std::vector<std::size_t> pin_union;
+  for (const ClassUse& use : uses) {
+    for (const std::size_t f : use.fanin_classes) {
+      if (std::find(pin_union.begin(), pin_union.end(), f) ==
+          pin_union.end()) {
+        pin_union.push_back(f);
+      }
+    }
+  }
+  if (pin_union.size() > k) {
+    return std::nullopt;
+  }
+
+  for (std::size_t e = 0; e < uses.size(); ++e) {
+    const ClassUse& use = uses[e];
+    if (use.arity > k) {
+      return std::nullopt;
+    }
+    std::vector<std::size_t> planes = planes_of(use.contexts, p);
+    for (const std::size_t plane : planes) {
+      if (plane_claim[plane] != SIZE_MAX) {
+        return std::nullopt;  // plane already taken by another class
+      }
+      plane_claim[plane] = e;
+    }
+    const std::size_t table_bits = std::size_t{1} << k;
+    fit.used_bits += planes.size() * table_bits;
+    fit.duplicated_bits += (planes.size() - 1) * table_bits;
+    fit.entry_planes.push_back(std::move(planes));
+  }
+  return fit;
+}
+
+/// All plane counts, largest first (most packing opportunity first).
+std::vector<std::size_t> plane_options(std::size_t num_contexts) {
+  std::vector<std::size_t> opts;
+  for (std::size_t p = num_contexts; p >= 1; p /= 2) {
+    opts.push_back(p);
+    if (p == 1) {
+      break;
+    }
+  }
+  return opts;
+}
+
+std::vector<ClassUse> slot_uses(const Slot& slot) {
+  std::vector<ClassUse> uses;
+  uses.reserve(slot.entries.size());
+  for (const auto& e : slot.entries) {
+    uses.push_back(e.use);
+  }
+  return uses;
+}
+
+void apply_fit(Slot& slot, const ModeFit& fit) {
+  slot.mode = fit.mode;
+  slot.used_bits = fit.used_bits;
+  slot.duplicated_bits = fit.duplicated_bits;
+  for (std::size_t e = 0; e < slot.entries.size(); ++e) {
+    slot.entries[e].planes = fit.entry_planes[e];
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> planes_of(const std::vector<std::size_t>& contexts,
+                                   std::size_t planes) {
+  std::vector<std::size_t> out;
+  out.reserve(contexts.size());
+  for (const std::size_t c : contexts) {
+    out.push_back(c & (planes - 1));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t PlaneAllocation::used_bits() const {
+  std::size_t n = 0;
+  for (const auto& s : slots) {
+    n += s.used_bits;
+  }
+  return n;
+}
+
+std::size_t PlaneAllocation::duplicated_bits() const {
+  std::size_t n = 0;
+  for (const auto& s : slots) {
+    n += s.duplicated_bits;
+  }
+  return n;
+}
+
+std::size_t PlaneAllocation::budget_bits(std::size_t base_inputs,
+                                         std::size_t num_contexts) const {
+  return slots.size() * ((std::size_t{1} << base_inputs) * num_contexts);
+}
+
+std::size_t PlaneAllocation::controller_se_cost() const {
+  if (control == lut::SizeControl::kGlobal) {
+    return 0;
+  }
+  std::size_t n = 0;
+  for (const auto& s : slots) {
+    n += log2_exact(s.mode.planes);
+  }
+  return n;
+}
+
+PlaneAllocation allocate_planes(const std::vector<ClassUse>& uses,
+                                std::size_t base_inputs,
+                                std::size_t num_contexts,
+                                lut::SizeControl control) {
+  MCFPGA_REQUIRE(config::is_valid_context_count(num_contexts),
+                 "context count must be a power of two in [2, 64]");
+  PlaneAllocation alloc;
+  alloc.control = control;
+
+  // Shared-first, fat-first packing order.
+  std::vector<ClassUse> order = uses;
+  std::sort(order.begin(), order.end(),
+            [](const ClassUse& a, const ClassUse& b) {
+              if (a.contexts.size() != b.contexts.size()) {
+                return a.contexts.size() > b.contexts.size();
+              }
+              if (a.arity != b.arity) {
+                return a.arity > b.arity;
+              }
+              return a.cls < b.cls;
+            });
+
+  const std::vector<std::size_t> opts = plane_options(num_contexts);
+
+  // Under global control every slot shares one fabric-wide mode: the most
+  // finely-planed mode whose input count still fits the fattest class
+  // (Fig. 13's J signal).
+  std::optional<std::size_t> global_p;
+  if (control == lut::SizeControl::kGlobal) {
+    std::size_t max_arity = 0;
+    for (const auto& u : uses) {
+      max_arity = std::max(max_arity, u.arity);
+    }
+    for (const std::size_t p : opts) {
+      const std::size_t k =
+          base_inputs + log2_exact(num_contexts) - log2_exact(p);
+      if (k >= max_arity) {
+        global_p = p;
+        break;
+      }
+    }
+    if (!global_p) {
+      throw FlowError("plane allocation: a class of arity " +
+                      std::to_string(max_arity) +
+                      " exceeds even the single-plane LUT size");
+    }
+  }
+
+  for (const ClassUse& use : order) {
+    bool placed = false;
+    for (std::size_t s = 0; s < alloc.slots.size() && !placed; ++s) {
+      Slot& slot = alloc.slots[s];
+      std::vector<ClassUse> candidate = slot_uses(slot);
+      candidate.push_back(use);
+      if (control == lut::SizeControl::kGlobal) {
+        if (auto fit =
+                try_mode(candidate, base_inputs, num_contexts, *global_p)) {
+          slot.entries.push_back(SlotEntry{use, {}});
+          apply_fit(slot, *fit);
+          alloc.slot_of_class[use.cls] = s;
+          placed = true;
+        }
+      } else {
+        for (const std::size_t p : opts) {
+          if (auto fit = try_mode(candidate, base_inputs, num_contexts, p)) {
+            slot.entries.push_back(SlotEntry{use, {}});
+            apply_fit(slot, *fit);
+            alloc.slot_of_class[use.cls] = s;
+            placed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (placed) {
+      continue;
+    }
+    // Open a new slot.
+    Slot slot;
+    slot.entries.push_back(SlotEntry{use, {}});
+    std::optional<ModeFit> fit;
+    if (control == lut::SizeControl::kGlobal) {
+      fit = try_mode({use}, base_inputs, num_contexts, *global_p);
+    } else {
+      // For a fresh slot prefer the mode with zero duplication and the most
+      // spare planes: largest p whose plane mapping is injective for this
+      // class; fall back to the largest feasible p.
+      std::optional<ModeFit> fallback;
+      for (const std::size_t p : opts) {
+        auto f = try_mode({use}, base_inputs, num_contexts, p);
+        if (!f) {
+          continue;
+        }
+        if (!fallback) {
+          fallback = f;
+        }
+        if (f->duplicated_bits == 0) {
+          fit = f;
+          break;
+        }
+      }
+      if (!fit) {
+        fit = fallback;
+      }
+    }
+    if (!fit) {
+      throw FlowError("plane allocation: class of arity " +
+                      std::to_string(use.arity) +
+                      " does not fit any LUT mode");
+    }
+    apply_fit(slot, *fit);
+    alloc.slot_of_class[use.cls] = alloc.slots.size();
+    alloc.slots.push_back(std::move(slot));
+  }
+  return alloc;
+}
+
+}  // namespace mcfpga::mapping

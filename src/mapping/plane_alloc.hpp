@@ -1,0 +1,69 @@
+// Configuration-plane allocation: assign LUT-operation classes to MCMG-LUT
+// output slots and pick each slot's granularity (paper Sec. 4, Figs. 12-14).
+//
+// A SLOT is one LUT output with its memory budget of
+// 2^base_inputs * num_contexts bits.  In a mode with p planes and
+// k = base_inputs + log2(contexts) - log2(p) inputs, context c reads plane
+// (c mod p).  Allocation must therefore satisfy, per slot:
+//   * every entry's arity <= k;
+//   * two entries never claim the same plane;
+//   * an entry whose contexts straddle several planes stores its table in
+//     each of them — DUPLICATED configuration data, the waste the paper's
+//     local size control eliminates (Fig. 13's LUT3 storing O3 twice).
+//
+// kGlobal control picks ONE mode for all slots (the fabric-wide J signal of
+// Fig. 13); kLocal control picks the best mode per slot (Fig. 14).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lut/logic_block.hpp"
+#include "mapping/context_merge.hpp"
+
+namespace mcfpga::mapping {
+
+struct SlotEntry {
+  ClassUse use;
+  /// Planes the entry's table occupies under the slot's chosen mode.
+  std::vector<std::size_t> planes;
+};
+
+struct Slot {
+  std::vector<SlotEntry> entries;
+  lut::LutMode mode;
+  std::size_t used_bits = 0;        ///< Table bits actually stored.
+  std::size_t duplicated_bits = 0;  ///< Bits stored more than once.
+};
+
+struct PlaneAllocation {
+  lut::SizeControl control = lut::SizeControl::kLocal;
+  std::vector<Slot> slots;
+  /// cls id -> slot index.
+  std::unordered_map<std::size_t, std::size_t> slot_of_class;
+
+  std::size_t num_slots() const { return slots.size(); }
+  std::size_t used_bits() const;
+  std::size_t duplicated_bits() const;
+  /// Memory budget consumed: slots * bits-per-slot.
+  std::size_t budget_bits(std::size_t base_inputs,
+                          std::size_t num_contexts) const;
+  /// Total local size-controller SEs (zero under global control).
+  std::size_t controller_se_cost() const;
+};
+
+/// Allocates every class in `uses` to a slot.
+/// Throws FlowError if some class cannot fit any mode (arity too large).
+PlaneAllocation allocate_planes(const std::vector<ClassUse>& uses,
+                                std::size_t base_inputs,
+                                std::size_t num_contexts,
+                                lut::SizeControl control);
+
+/// The planes class contexts map to under `planes`-plane selection, sorted
+/// and deduplicated (plane = context mod planes).
+std::vector<std::size_t> planes_of(const std::vector<std::size_t>& contexts,
+                                   std::size_t planes);
+
+}  // namespace mcfpga::mapping

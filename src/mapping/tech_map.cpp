@@ -1,0 +1,109 @@
+#include "mapping/tech_map.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mcfpga::mapping {
+
+namespace {
+
+using netlist::Dfg;
+using netlist::DfgNode;
+using netlist::NodeRef;
+using netlist::NodeType;
+
+/// Splits `tt` (over `arity` inputs) on the top input.
+std::pair<BitVector, BitVector> cofactor_tables(const BitVector& tt,
+                                                std::size_t arity) {
+  const std::size_t half = std::size_t{1} << (arity - 1);
+  BitVector lo(half);
+  BitVector hi(half);
+  for (std::size_t a = 0; a < half; ++a) {
+    lo.set(a, tt.get(a));
+    hi.set(a, tt.get(a + half));
+  }
+  return {std::move(lo), std::move(hi)};
+}
+
+/// 3-input mux truth table: out = in2 ? in1 : in0.
+BitVector mux3_table() {
+  // Address bits (in2, in1, in0); out = in2 ? in1 : in0.
+  BitVector tt(8);
+  for (std::size_t a = 0; a < 8; ++a) {
+    const bool in0 = a & 1;
+    const bool in1 = a & 2;
+    const bool in2 = a & 4;
+    tt.set(a, in2 ? in1 : in0);
+  }
+  return tt;
+}
+
+/// Recursively emits `tt(fanins)` into `out`, returning the node computing
+/// it.  `serial` disambiguates generated names.
+NodeRef emit(Dfg& out, const std::string& base_name,
+             const std::vector<NodeRef>& fanins, const BitVector& tt,
+             std::size_t max_arity, std::size_t& serial) {
+  if (fanins.size() <= max_arity) {
+    return out.add_lut(base_name + "#" + std::to_string(serial++),
+                       fanins, tt);
+  }
+  const std::size_t arity = fanins.size();
+  auto [lo_tt, hi_tt] = cofactor_tables(tt, arity);
+  std::vector<NodeRef> sub(fanins.begin(), fanins.end() - 1);
+  const NodeRef lo = emit(out, base_name, sub, lo_tt, max_arity, serial);
+  const NodeRef hi = emit(out, base_name, sub, hi_tt, max_arity, serial);
+  return out.add_lut(base_name + "#" + std::to_string(serial++),
+                     {lo, hi, fanins.back()}, mux3_table());
+}
+
+}  // namespace
+
+Dfg decompose_to_arity(const Dfg& dfg, std::size_t max_arity) {
+  MCFPGA_REQUIRE(max_arity >= 3, "decomposition needs max_arity >= 3");
+  Dfg out;
+  std::vector<NodeRef> remap(dfg.num_nodes(), netlist::kNoNode);
+  std::size_t serial = 0;
+
+  for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+    const DfgNode& n = dfg.node(static_cast<NodeRef>(i));
+    if (n.type == NodeType::kPrimaryInput) {
+      remap[i] = out.add_input(n.name);
+      continue;
+    }
+    if (n.fanins.size() <= max_arity) {
+      std::vector<NodeRef> fanins;
+      fanins.reserve(n.fanins.size());
+      for (const NodeRef f : n.fanins) {
+        fanins.push_back(remap[static_cast<std::size_t>(f)]);
+      }
+      remap[i] = out.add_lut(n.name, std::move(fanins), n.truth_table);
+    } else {
+      std::vector<NodeRef> fanins;
+      fanins.reserve(n.fanins.size());
+      for (const NodeRef f : n.fanins) {
+        fanins.push_back(remap[static_cast<std::size_t>(f)]);
+      }
+      remap[i] =
+          emit(out, n.name, fanins, n.truth_table, max_arity, serial);
+    }
+  }
+  for (const auto& o : dfg.outputs()) {
+    out.mark_output(remap[static_cast<std::size_t>(o.node)], o.name);
+  }
+  out.validate();
+  return out;
+}
+
+netlist::MultiContextNetlist decompose_to_arity(
+    const netlist::MultiContextNetlist& nl, std::size_t max_arity) {
+  netlist::MultiContextNetlist out(nl.num_contexts());
+  for (std::size_t c = 0; c < nl.num_contexts(); ++c) {
+    out.context(c) = decompose_to_arity(nl.context(c), max_arity);
+  }
+  return out;
+}
+
+}  // namespace mcfpga::mapping

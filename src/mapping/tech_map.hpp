@@ -1,0 +1,28 @@
+// Technology mapping: bound every LUT operation's arity to what the target
+// MCMG-LUT mode can absorb.  Oversized nodes are Shannon-decomposed on
+// their highest input:
+//
+//     f(x_{a-1}, ..., x_0) = x_{a-1} ? f_hi(...) : f_lo(...)
+//
+// which adds two cofactor nodes and a 3-input mux node, recursively, until
+// every node fits.  This mirrors how the RCM decoder synthesis handles
+// complex context patterns — the same decomposition, applied in the signal
+// domain instead of the context domain.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::mapping {
+
+/// Returns a functionally equivalent DFG whose LUT ops all have arity
+/// <= max_arity (max_arity >= 3 required: the mux itself needs 3 inputs).
+netlist::Dfg decompose_to_arity(const netlist::Dfg& dfg,
+                                std::size_t max_arity);
+
+/// Applies decompose_to_arity to every context.
+netlist::MultiContextNetlist decompose_to_arity(
+    const netlist::MultiContextNetlist& netlist, std::size_t max_arity);
+
+}  // namespace mcfpga::mapping

@@ -1,0 +1,70 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+
+namespace mcfpga::netlist {
+
+namespace {
+std::string node_id(std::size_t context, NodeRef node) {
+  return "c" + std::to_string(context) + "_n" + std::to_string(node);
+}
+
+void emit_context(std::ostream& os, const Dfg& dfg, std::size_t context,
+                  const SharingAnalysis* sharing) {
+  for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+    const auto& n = dfg.node(static_cast<NodeRef>(i));
+    os << "    " << node_id(context, static_cast<NodeRef>(i)) << " [label=\""
+       << n.name << "\"";
+    if (n.type == NodeType::kPrimaryInput) {
+      os << ", shape=triangle";
+    } else {
+      os << ", shape=box";
+      if (sharing != nullptr) {
+        const std::size_t cls = sharing->class_of[context][i];
+        if (sharing->classes[cls].is_shared()) {
+          os << ", peripheries=2, style=filled, fillcolor=lightyellow";
+        }
+      }
+    }
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+    const auto& n = dfg.node(static_cast<NodeRef>(i));
+    for (const NodeRef f : n.fanins) {
+      os << "    " << node_id(context, f) << " -> "
+         << node_id(context, static_cast<NodeRef>(i)) << ";\n";
+    }
+  }
+  for (const auto& out : dfg.outputs()) {
+    const std::string oid =
+        "c" + std::to_string(context) + "_out_" + out.name;
+    os << "    " << oid << " [label=\"" << out.name
+       << "\", shape=invtriangle];\n";
+    os << "    " << node_id(context, out.node) << " -> " << oid << ";\n";
+  }
+}
+}  // namespace
+
+std::string to_dot(const Dfg& dfg, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=TB;\n";
+  emit_context(os, dfg, 0, nullptr);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot_merged(const MultiContextNetlist& netlist,
+                          const SharingAnalysis& sharing) {
+  std::ostringstream os;
+  os << "digraph merged {\n  rankdir=TB;\n";
+  for (std::size_t c = 0; c < netlist.num_contexts(); ++c) {
+    os << "  subgraph cluster_ctx" << c << " {\n    label=\"context " << c
+       << "\";\n";
+    emit_context(os, netlist.context(c), c, &sharing);
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mcfpga::netlist

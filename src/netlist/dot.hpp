@@ -1,0 +1,20 @@
+// Graphviz DOT export of multi-context DFGs, with shared classes rendered
+// as merged nodes (the paper's Fig. 14a view).
+#pragma once
+
+#include <string>
+
+#include "netlist/dfg.hpp"
+#include "netlist/sharing.hpp"
+
+namespace mcfpga::netlist {
+
+/// DOT text of a single context's DFG.
+std::string to_dot(const Dfg& dfg, const std::string& graph_name);
+
+/// DOT text of the whole multi-context netlist with one cluster per context
+/// and shared classes annotated (peripheries=2).
+std::string to_dot_merged(const MultiContextNetlist& netlist,
+                          const SharingAnalysis& sharing);
+
+}  // namespace mcfpga::netlist

@@ -1,0 +1,47 @@
+#include "netlist/eval.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mcfpga::netlist {
+
+namespace {
+std::vector<bool> evaluate_all(const Dfg& dfg, const ValueMap& inputs) {
+  std::vector<bool> value(dfg.num_nodes(), false);
+  for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+    const auto& n = dfg.node(static_cast<NodeRef>(i));
+    if (n.type == NodeType::kPrimaryInput) {
+      const auto it = inputs.find(n.name);
+      value[i] = it != inputs.end() && it->second;
+    } else {
+      std::size_t address = 0;
+      for (std::size_t b = 0; b < n.fanins.size(); ++b) {
+        if (value[static_cast<std::size_t>(n.fanins[b])]) {
+          address |= std::size_t{1} << b;
+        }
+      }
+      value[i] = n.truth_table.get(address);
+    }
+  }
+  return value;
+}
+}  // namespace
+
+ValueMap evaluate(const Dfg& dfg, const ValueMap& inputs) {
+  const std::vector<bool> value = evaluate_all(dfg, inputs);
+  ValueMap out;
+  for (const auto& o : dfg.outputs()) {
+    out[o.name] = value[static_cast<std::size_t>(o.node)];
+  }
+  return out;
+}
+
+bool evaluate_node(const Dfg& dfg, NodeRef node, const ValueMap& inputs) {
+  MCFPGA_REQUIRE(
+      node >= 0 && static_cast<std::size_t>(node) < dfg.num_nodes(),
+      "node out of range");
+  return evaluate_all(dfg, inputs)[static_cast<std::size_t>(node)];
+}
+
+}  // namespace mcfpga::netlist

@@ -1,0 +1,23 @@
+// Reference (software) evaluation of DFGs.  The fabric simulator is always
+// cross-checked against these results — they are the functional oracle for
+// the whole flow.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::netlist {
+
+/// Named input/output value sets.
+using ValueMap = std::map<std::string, bool>;
+
+/// Evaluates one context's DFG on named primary-input values.
+/// Missing inputs default to 0; extra entries are ignored.
+ValueMap evaluate(const Dfg& dfg, const ValueMap& inputs);
+
+/// Evaluates a single node (by ref) under the given primary inputs.
+bool evaluate_node(const Dfg& dfg, NodeRef node, const ValueMap& inputs);
+
+}  // namespace mcfpga::netlist

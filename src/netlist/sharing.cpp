@@ -1,0 +1,91 @@
+#include "netlist/sharing.hpp"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace mcfpga::netlist {
+
+namespace {
+/// Structural key: primary inputs key on their name; LUT ops key on the
+/// truth table plus the class ids of their fanins.
+struct NodeKey {
+  bool is_input = false;
+  std::string input_name;
+  std::string tt;  // truth-table string (canonical)
+  std::vector<std::size_t> fanin_classes;
+
+  bool operator<(const NodeKey& o) const {
+    return std::tie(is_input, input_name, tt, fanin_classes) <
+           std::tie(o.is_input, o.input_name, o.tt, o.fanin_classes);
+  }
+};
+}  // namespace
+
+std::size_t SharingAnalysis::shared_lut_classes() const {
+  std::size_t n = 0;
+  for (const auto& cls : classes) {
+    if (cls.arity > 0 && cls.is_shared()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t SharingAnalysis::merged_lut_ops() const {
+  std::size_t n = 0;
+  for (const auto& cls : classes) {
+    if (cls.arity > 0 && cls.is_shared()) {
+      n += cls.members.size() - 1;
+    }
+  }
+  return n;
+}
+
+SharingAnalysis analyze_sharing(const MultiContextNetlist& netlist) {
+  SharingAnalysis result;
+  result.class_of.resize(netlist.num_contexts());
+
+  std::map<NodeKey, std::size_t> key_to_class;
+
+  for (std::size_t c = 0; c < netlist.num_contexts(); ++c) {
+    const Dfg& dfg = netlist.context(c);
+    result.class_of[c].resize(dfg.num_nodes());
+    for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+      const auto& n = dfg.node(static_cast<NodeRef>(i));
+      NodeKey key;
+      if (n.type == NodeType::kPrimaryInput) {
+        key.is_input = true;
+        key.input_name = n.name;
+      } else {
+        key.tt = n.truth_table.to_string();
+        key.fanin_classes.reserve(n.fanins.size());
+        for (const NodeRef f : n.fanins) {
+          key.fanin_classes.push_back(
+              result.class_of[c][static_cast<std::size_t>(f)]);
+        }
+      }
+      const auto [it, inserted] =
+          key_to_class.emplace(std::move(key), result.classes.size());
+      if (inserted) {
+        SharedClass cls;
+        cls.id = result.classes.size();
+        cls.arity = n.fanins.size();
+        result.classes.push_back(std::move(cls));
+      }
+      const std::size_t cls_id = it->second;
+      result.class_of[c][i] = cls_id;
+      auto& members = result.classes[cls_id].members;
+      // A context evaluates each class at most once (hash-consing within a
+      // context also deduplicates identical nodes).
+      if (members.empty() || members.back().first != c) {
+        members.emplace_back(c, static_cast<NodeRef>(i));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcfpga::netlist

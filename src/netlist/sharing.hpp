@@ -1,0 +1,44 @@
+// Cross-context node-sharing analysis (paper Fig. 14a).
+//
+// Two LUT operations in different contexts are SHARABLE when they compute
+// the same function of the same signals — structurally: equal truth tables
+// and fanins that are themselves pairwise sharable (primary inputs share by
+// name).  Sharable nodes collapse to one "shared class"; mapping a class
+// once into a single configuration plane is what saves the memory that a
+// globally controlled logic block would duplicate (Fig. 13's LUT3 storing
+// O3 twice).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::netlist {
+
+/// One equivalence class of structurally identical nodes across contexts.
+struct SharedClass {
+  std::size_t id = 0;
+  /// (context, node) members; at most one member per context.
+  std::vector<std::pair<std::size_t, NodeRef>> members;
+  /// Arity of the class function.
+  std::size_t arity = 0;
+
+  bool is_shared() const { return members.size() > 1; }
+};
+
+struct SharingAnalysis {
+  std::vector<SharedClass> classes;
+  /// class_of[context][node] = class id (primary inputs get classes too).
+  std::vector<std::vector<std::size_t>> class_of;
+
+  /// Number of LUT-op classes with >1 member (the merge wins).
+  std::size_t shared_lut_classes() const;
+  /// LUT evaluations saved by merging: sum over classes of (members - 1).
+  std::size_t merged_lut_ops() const;
+};
+
+/// Runs structural hashing over all contexts of the netlist.
+SharingAnalysis analyze_sharing(const MultiContextNetlist& netlist);
+
+}  // namespace mcfpga::netlist

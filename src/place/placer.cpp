@@ -1,0 +1,211 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mcfpga::place {
+
+namespace {
+
+struct State {
+  const PlacementProblem* problem = nullptr;
+  const arch::RoutingGraph* graph = nullptr;
+  /// cluster -> cell index; cell -> cluster (SIZE_MAX = empty).
+  std::vector<std::size_t> cluster_cell;
+  std::vector<std::size_t> cell_cluster;
+  /// io -> pad index; pad -> io (SIZE_MAX = free).
+  std::vector<std::size_t> io_pad;
+  std::vector<std::size_t> pad_io;
+
+  std::pair<double, double> terminal_pos(const Terminal& t) const {
+    if (t.kind == Terminal::Kind::kCluster) {
+      const std::size_t cell = cluster_cell[t.id];
+      const std::size_t w = graph->spec().width;
+      return {static_cast<double>(cell % w), static_cast<double>(cell / w)};
+    }
+    const auto& node = graph->node(graph->pad(io_pad[t.id]));
+    return {static_cast<double>(node.x), static_cast<double>(node.y)};
+  }
+
+  double net_cost(const PlacementNet& net) const {
+    auto [min_x, min_y] = terminal_pos(net.driver);
+    double max_x = min_x;
+    double max_y = min_y;
+    for (const auto& sink : net.sinks) {
+      const auto [x, y] = terminal_pos(sink);
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+    return static_cast<double>(net.weight) * ((max_x - min_x) + (max_y - min_y));
+  }
+
+  double total_cost() const {
+    double c = 0.0;
+    for (const auto& net : problem->nets) {
+      c += net_cost(net);
+    }
+    return c;
+  }
+};
+
+}  // namespace
+
+double placement_cost(const PlacementProblem& problem,
+                      const arch::RoutingGraph& graph,
+                      const Placement& placement) {
+  State st;
+  st.problem = &problem;
+  st.graph = &graph;
+  const std::size_t w = graph.spec().width;
+  st.cluster_cell.resize(problem.num_clusters);
+  for (std::size_t i = 0; i < problem.num_clusters; ++i) {
+    st.cluster_cell[i] =
+        placement.cluster_pos[i].second * w + placement.cluster_pos[i].first;
+  }
+  st.io_pad = placement.io_pads;
+  return st.total_cost();
+}
+
+Placement place(const PlacementProblem& problem,
+                const arch::RoutingGraph& graph,
+                const PlacerOptions& options) {
+  const std::size_t cells = graph.spec().num_cells();
+  const std::size_t pads = graph.num_pads();
+  if (problem.num_clusters > cells) {
+    throw FlowError("placer: " + std::to_string(problem.num_clusters) +
+                    " clusters exceed " + std::to_string(cells) + " cells");
+  }
+  if (problem.num_io_terminals > pads) {
+    throw FlowError("placer: " + std::to_string(problem.num_io_terminals) +
+                    " I/O terminals exceed " + std::to_string(pads) +
+                    " pads");
+  }
+  for (const auto& net : problem.nets) {
+    const auto check = [&](const Terminal& t) {
+      if (t.kind == Terminal::Kind::kCluster) {
+        MCFPGA_REQUIRE(t.id < problem.num_clusters, "net cluster id range");
+      } else {
+        MCFPGA_REQUIRE(t.id < problem.num_io_terminals, "net io id range");
+      }
+    };
+    check(net.driver);
+    for (const auto& s : net.sinks) {
+      check(s);
+    }
+  }
+
+  Rng rng(options.seed);
+  State st;
+  st.problem = &problem;
+  st.graph = &graph;
+
+  // Initial placement: clusters in scan order, I/Os round-robin over pads.
+  st.cluster_cell.resize(problem.num_clusters);
+  st.cell_cluster.assign(cells, SIZE_MAX);
+  for (std::size_t i = 0; i < problem.num_clusters; ++i) {
+    st.cluster_cell[i] = i;
+    st.cell_cluster[i] = i;
+  }
+  st.io_pad.resize(problem.num_io_terminals);
+  st.pad_io.assign(pads, SIZE_MAX);
+  for (std::size_t i = 0; i < problem.num_io_terminals; ++i) {
+    st.io_pad[i] = (i * pads) / std::max<std::size_t>(problem.num_io_terminals, 1);
+    // Resolve collisions linearly.
+    while (st.pad_io[st.io_pad[i]] != SIZE_MAX) {
+      st.io_pad[i] = (st.io_pad[i] + 1) % pads;
+    }
+    st.pad_io[st.io_pad[i]] = i;
+  }
+
+  double cost = st.total_cost();
+  double temperature =
+      std::max(1e-6, options.initial_temperature_factor * std::max(cost, 1.0));
+  const std::size_t moves_per_sweep =
+      options.moves_per_sweep != 0
+          ? options.moves_per_sweep
+          : 16 * (problem.num_clusters + problem.num_io_terminals + 1);
+
+  for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+    for (std::size_t m = 0; m < moves_per_sweep; ++m) {
+      const bool move_cluster =
+          problem.num_io_terminals == 0 ||
+          (problem.num_clusters > 0 && rng.next_bool(0.7));
+      if (move_cluster && problem.num_clusters > 0) {
+        const std::size_t a =
+            static_cast<std::size_t>(rng.next_below(problem.num_clusters));
+        const std::size_t target_cell =
+            static_cast<std::size_t>(rng.next_below(cells));
+        const std::size_t old_cell = st.cluster_cell[a];
+        if (target_cell == old_cell) {
+          continue;
+        }
+        const std::size_t other = st.cell_cluster[target_cell];
+        // Apply move (swap or relocate).
+        st.cluster_cell[a] = target_cell;
+        st.cell_cluster[target_cell] = a;
+        st.cell_cluster[old_cell] = other;
+        if (other != SIZE_MAX) {
+          st.cluster_cell[other] = old_cell;
+        }
+        const double new_cost = st.total_cost();
+        const double delta = new_cost - cost;
+        if (delta <= 0 || rng.next_double() < std::exp(-delta / temperature)) {
+          cost = new_cost;
+        } else {  // revert
+          st.cluster_cell[a] = old_cell;
+          st.cell_cluster[old_cell] = a;
+          st.cell_cluster[target_cell] = other;
+          if (other != SIZE_MAX) {
+            st.cluster_cell[other] = target_cell;
+          }
+        }
+      } else if (problem.num_io_terminals > 0) {
+        const std::size_t a = static_cast<std::size_t>(
+            rng.next_below(problem.num_io_terminals));
+        const std::size_t target_pad =
+            static_cast<std::size_t>(rng.next_below(pads));
+        const std::size_t old_pad = st.io_pad[a];
+        if (target_pad == old_pad) {
+          continue;
+        }
+        const std::size_t other = st.pad_io[target_pad];
+        st.io_pad[a] = target_pad;
+        st.pad_io[target_pad] = a;
+        st.pad_io[old_pad] = other;
+        if (other != SIZE_MAX) {
+          st.io_pad[other] = old_pad;
+        }
+        const double new_cost = st.total_cost();
+        const double delta = new_cost - cost;
+        if (delta <= 0 || rng.next_double() < std::exp(-delta / temperature)) {
+          cost = new_cost;
+        } else {
+          st.io_pad[a] = old_pad;
+          st.pad_io[old_pad] = a;
+          st.pad_io[target_pad] = other;
+          if (other != SIZE_MAX) {
+            st.io_pad[other] = target_pad;
+          }
+        }
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  Placement out;
+  out.cluster_pos.resize(problem.num_clusters);
+  const std::size_t w = graph.spec().width;
+  for (std::size_t i = 0; i < problem.num_clusters; ++i) {
+    out.cluster_pos[i] = {st.cluster_cell[i] % w, st.cluster_cell[i] / w};
+  }
+  out.io_pads = st.io_pad;
+  out.cost = cost;
+  return out;
+}
+
+}  // namespace mcfpga::place

@@ -1,0 +1,73 @@
+// Simulated-annealing placement of clustered logic blocks onto the fabric
+// grid, plus I/O-terminal-to-pad assignment.
+//
+// The cost function is the half-perimeter wirelength (HPWL) of every net,
+// summed over contexts (a net active in several contexts counts once per
+// context — multi-context routing pressure is real pressure).  Moves are
+// cluster swaps / relocations and pad swaps; the schedule is a classic
+// geometric cooling with a fixed sweep budget so placements are
+// deterministic for a given seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/routing_graph.hpp"
+#include "common/rng.hpp"
+
+namespace mcfpga::place {
+
+/// A placeable endpoint: a logic-block cluster or an I/O terminal.
+struct Terminal {
+  enum class Kind : std::uint8_t { kCluster, kIo };
+  Kind kind = Kind::kCluster;
+  std::size_t id = 0;  ///< Cluster index or I/O terminal index.
+
+  static Terminal cluster(std::size_t id) {
+    return Terminal{Kind::kCluster, id};
+  }
+  static Terminal io(std::size_t id) { return Terminal{Kind::kIo, id}; }
+};
+
+struct PlacementNet {
+  Terminal driver;
+  std::vector<Terminal> sinks;
+  /// Contexts in which the net is live (its HPWL weight).
+  std::size_t weight = 1;
+};
+
+struct PlacementProblem {
+  std::size_t num_clusters = 0;
+  std::size_t num_io_terminals = 0;
+  std::vector<PlacementNet> nets;
+};
+
+struct PlacerOptions {
+  std::uint64_t seed = 1;
+  /// Annealing sweeps (each sweep = moves_per_sweep attempted moves).
+  std::size_t sweeps = 64;
+  std::size_t moves_per_sweep = 0;  ///< 0 -> 16 * (clusters + ios)
+  double initial_temperature_factor = 0.1;  ///< T0 = factor * initial cost
+  double cooling = 0.9;
+};
+
+struct Placement {
+  /// cluster -> cell coordinates.
+  std::vector<std::pair<std::size_t, std::size_t>> cluster_pos;
+  /// io terminal -> pad index (into RoutingGraph::pad()).
+  std::vector<std::size_t> io_pads;
+  double cost = 0.0;
+};
+
+/// Places the problem onto `graph`'s fabric.  Throws FlowError when the
+/// fabric has too few cells or pads.
+Placement place(const PlacementProblem& problem,
+                const arch::RoutingGraph& graph, const PlacerOptions& options);
+
+/// Cost of an explicit placement (exposed for tests and the placer itself).
+double placement_cost(const PlacementProblem& problem,
+                      const arch::RoutingGraph& graph,
+                      const Placement& placement);
+
+}  // namespace mcfpga::place

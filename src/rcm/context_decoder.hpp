@@ -1,0 +1,63 @@
+// Context decoder: the proposed fabric's replacement for per-bit context
+// memory planes (paper Sec. 3).
+//
+// Given a bitstream (one context pattern per configuration bit), the
+// decoder synthesizes an SE network per row and can then regenerate any
+// context's configuration plane from the context-ID bits alone.  An
+// optional sharing mode merges rows with identical patterns into one
+// network (exploiting the paper's inter-row redundancy, Table 1's G2 == G4):
+// shared rows then cost only a routing pass-gate "tap" instead of a full
+// network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "config/bitstream.hpp"
+#include "rcm/decoder_synth.hpp"
+
+namespace mcfpga::rcm {
+
+struct ContextDecoderOptions {
+  /// Merge rows with identical context patterns into one SE network.
+  bool share_identical_patterns = false;
+};
+
+class ContextDecoder {
+ public:
+  explicit ContextDecoder(const config::Bitstream& bitstream,
+                          ContextDecoderOptions options = {});
+
+  std::size_t num_rows() const { return row_to_network_.size(); }
+  std::size_t num_contexts() const { return num_contexts_; }
+  std::size_t num_networks() const { return networks_.size(); }
+
+  /// The regenerated configuration bit of `row` in `context`.
+  bool output(std::size_t row, std::size_t context) const;
+  /// The full regenerated configuration plane of one context.
+  BitVector decode_plane(std::size_t context) const;
+
+  /// Resource totals (the currency of the Sec. 5 area comparison).
+  std::size_t total_se_count() const;
+  std::size_t total_input_controllers() const;
+  std::size_t total_programmable_switches() const;
+  /// Rows served by a shared network (each costs one extra pass-gate tap).
+  std::size_t shared_row_taps() const { return shared_taps_; }
+  /// Worst pass-gate depth over all networks (decoder delay in SE units).
+  std::size_t max_depth() const;
+
+  const DecoderNetwork& network_for_row(std::size_t row) const;
+
+  /// Equivalence oracle: true iff every regenerated plane equals the
+  /// bitstream's plane (checked bit-for-bit across all contexts).
+  bool matches(const config::Bitstream& bitstream) const;
+
+ private:
+  std::size_t num_contexts_;
+  std::vector<DecoderNetwork> networks_;
+  std::vector<std::size_t> row_to_network_;
+  std::size_t shared_taps_ = 0;
+};
+
+}  // namespace mcfpga::rcm

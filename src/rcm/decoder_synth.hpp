@@ -1,0 +1,88 @@
+// Decoder synthesis: compile a per-configuration-bit context pattern into a
+// network of switch elements (paper Sec. 3, Fig. 9).
+//
+// Constant and single-ID-bit patterns compile to one SE.  Complex patterns
+// are Shannon-decomposed on a context-ID bit Sb:
+//
+//     G = Sb ? G_high : G_low
+//
+// The two cofactors are synthesized recursively onto internal tracks, and
+// two "gater" SEs (programmed G = Sb and G = ~Sb) connect exactly one
+// cofactor track to the output wire in every context.  For 4 contexts this
+// yields the paper's 4-SE structure for (C3,C2,C1,C0) = (1,0,0,0): two
+// leaf drivers + two gaters (Fig. 9).
+//
+// The decomposition bit is chosen by exhaustive recursion with memoization,
+// so the synthesized SE count is minimal for this template (drivers at the
+// leaves, a 2-SE gate pair per decomposition level).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "config/pattern.hpp"
+#include "rcm/switch_element.hpp"
+
+namespace mcfpga::rcm {
+
+/// One SE instance in a synthesized decoder network.
+struct DecoderSe {
+  SwitchElement se;
+  /// Role: a driver's G drives out_wire directly; a gater's G controls a
+  /// pass-gate connecting in_wire -> out_wire.
+  enum class Role { kDriver, kGater };
+  Role role = Role::kDriver;
+  int in_wire = -1;  ///< Only for kGater.
+  int out_wire = 0;
+};
+
+/// A synthesized SE network computing one configuration bit from the
+/// context-ID bits.
+class DecoderNetwork {
+ public:
+  /// Number of switch elements used (the paper's area currency).
+  std::size_t se_count() const { return ses_.size(); }
+  /// Number of input controllers used (complemented U inputs).
+  std::size_t input_controller_count() const;
+  /// Programmable-switch (track-crossing) count: one per gater input
+  /// connection, the track-stitching cost inside the RCM (Fig. 7b).
+  std::size_t programmable_switch_count() const;
+  /// Pass-gate stages from any driver to the output wire (0 when the output
+  /// is driven directly by a single SE).  This is the decoder's delay in SE
+  /// units.
+  std::size_t depth() const { return depth_; }
+  /// Total wires (output wire + internal cofactor tracks).
+  std::size_t wire_count() const { return num_wires_; }
+
+  const std::vector<DecoderSe>& elements() const { return ses_; }
+
+  /// The configuration bit this network generates in `context`.
+  /// Throws ProgrammingError if the output wire is floating or multiply
+  /// driven in that context (a synthesis-invariant violation).
+  bool eval(std::size_t context) const;
+
+  /// Multi-line structural dump for debugging / the Fig. 9 bench.
+  std::string describe() const;
+
+  /// Internal builder state used by synthesize_decoder (defined in the .cpp).
+  struct BuildState;
+  /// Appends one SE instance (builder use only).
+  void add(const DecoderSe& se);
+
+ private:
+  friend DecoderNetwork synthesize_decoder(const config::ContextPattern&);
+  std::vector<DecoderSe> ses_;
+  std::size_t num_wires_ = 1;  // wire 0 is the output
+  std::size_t depth_ = 0;
+};
+
+/// Synthesizes the minimal SE network (within the Shannon-tree template)
+/// for `pattern`.
+DecoderNetwork synthesize_decoder(const config::ContextPattern& pattern);
+
+/// SE count that synthesize_decoder would use, without building the network
+/// (fast path for area sweeps over millions of rows).
+std::size_t decoder_se_cost(const config::ContextPattern& pattern);
+
+}  // namespace mcfpga::rcm

@@ -1,0 +1,73 @@
+#include "rcm/fepg.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::rcm {
+
+void FerroelectricCell::write(bool value) {
+  if (polarization_ != value) {
+    polarization_ = value;
+    ++reversals_;
+  }
+}
+
+void FePassGate::program(bool d1, bool d0) {
+  d1_.write(d1);
+  d0_.write(d0);
+}
+
+FePassGate FePassGate::from_switch_element(const SwitchElement& se) {
+  FePassGate gate;
+  gate.program(se.d1, se.d0);
+  gate.set_u_source(se.u);
+  return gate;
+}
+
+SwitchElement FePassGate::to_switch_element() const {
+  SwitchElement se;
+  se.d1 = d1_.read();
+  se.d0 = d0_.read();
+  se.u = u_;
+  return se;
+}
+
+bool FePassGate::eval_with_u(bool u_value) const {
+  return d1_.read() ? u_value : d0_.read();
+}
+
+bool FePassGate::eval(std::size_t context) const {
+  if (!d1_.read()) {
+    return d0_.read();
+  }
+  MCFPGA_CHECK(u_.has_value(),
+               "FePG with d1=1 evaluated without a variable-input source");
+  return u_->value_in(context);
+}
+
+void FePassGate::power_cycle() {
+  d1_.power_cycle();
+  d0_.power_cycle();
+  // The U routing is metal, unaffected by power state.
+}
+
+bool fepg_matches_se(const FePassGate& gate, const SwitchElement& se,
+                     std::size_t num_contexts) {
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    // Compare under resolved contexts when a U source exists; otherwise
+    // compare under both U levels.
+    if (se.d1 && se.u.has_value()) {
+      if (gate.eval(c) != se.eval(c)) {
+        return false;
+      }
+    } else {
+      for (const bool u : {false, true}) {
+        if (gate.eval_with_u(u) != se.eval_with_u(u)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mcfpga::rcm

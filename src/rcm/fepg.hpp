@@ -1,0 +1,82 @@
+// Behavioural model of the ferroelectric functional pass-gate (FePG,
+// paper Fig. 15, after Kimura et al. 2004).
+//
+// An FePG merges storage and logic at the device level: two ferroelectric
+// capacitors hold the configuration bits d1/d0 NON-VOLATILELY, and the
+// cell computes the same function as a CMOS switch element:
+//
+//     G = d1 ? U : d0        (Fig. 15(c) truth table)
+//
+// The model captures the properties the paper's evaluation relies on:
+//   * functional equivalence with the SE (exhaustively tested);
+//   * non-volatility — state survives power_cycle();
+//   * write endurance accounting — ferroelectric cells wear out, so the
+//     model counts polarization reversals (a real concern the paper's
+//     device citation discusses; useful for reconfiguration-rate studies);
+//   * the word-line/bit-line write protocol surface (WL/BLW/RL of
+//     Fig. 15(a)) reduced to its observable behaviour.
+#pragma once
+
+#include <cstddef>
+
+#include "rcm/switch_element.hpp"
+
+namespace mcfpga::rcm {
+
+/// One non-volatile ferroelectric storage cell.
+class FerroelectricCell {
+ public:
+  bool read() const { return polarization_; }
+  /// Writing the opposite value reverses polarization (wears the film);
+  /// rewriting the same value is free.
+  void write(bool value);
+  /// Polarization reversals so far (endurance metric).
+  std::size_t reversals() const { return reversals_; }
+  /// Power loss does not disturb a ferroelectric cell.
+  void power_cycle() {}
+
+ private:
+  bool polarization_ = false;
+  std::size_t reversals_ = 0;
+};
+
+/// Ferroelectric functional pass-gate: the FePG realization of an SE.
+class FePassGate {
+ public:
+  FePassGate() = default;
+  /// Programs both configuration cells (one write cycle each, WL+BLW).
+  void program(bool d1, bool d0);
+  /// Programs the FePG to realize the given switch element.
+  static FePassGate from_switch_element(const SwitchElement& se);
+  /// The equivalent CMOS SE programming (same G function).
+  SwitchElement to_switch_element() const;
+
+  bool d1() const { return d1_.read(); }
+  bool d0() const { return d0_.read(); }
+  const std::optional<IdBitRef>& u_source() const { return u_; }
+  void set_u_source(std::optional<IdBitRef> u) { u_ = std::move(u); }
+
+  /// G for an explicit U level (read cycle, RL asserted).
+  bool eval_with_u(bool u_value) const;
+  /// G in a context (U resolved through the ID-bit source).
+  bool eval(std::size_t context) const;
+
+  /// Total polarization reversals across both cells.
+  std::size_t total_reversals() const {
+    return d1_.reversals() + d0_.reversals();
+  }
+  /// Simulates a power cycle; configuration must survive.
+  void power_cycle();
+
+ private:
+  FerroelectricCell d1_;
+  FerroelectricCell d0_;
+  std::optional<IdBitRef> u_;
+};
+
+/// Proves a FePG behaves identically to `se` in every context of an
+/// n-context fabric (the Fig. 15(c) == Fig. 8 equivalence).
+bool fepg_matches_se(const FePassGate& gate, const SwitchElement& se,
+                     std::size_t num_contexts);
+
+}  // namespace mcfpga::rcm

@@ -1,0 +1,69 @@
+#include "rcm/grid.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::rcm {
+
+RcmGrid::RcmGrid(GridSpec spec) : spec_(spec) {
+  MCFPGA_REQUIRE(spec.rows > 0 && spec.cols > 0,
+                 "RCM grid must have at least one SE site");
+}
+
+std::size_t RcmGrid::place(DecoderNetwork network, std::string name) {
+  const std::size_t need_se = network.se_count();
+  const std::size_t need_x = network.programmable_switch_count();
+  const std::size_t need_c = network.input_controller_count();
+
+  if (se_used_ + need_se > se_capacity()) {
+    throw FlowError("RCM grid '" + name + "': out of SE sites (need " +
+                    std::to_string(need_se) + ", free " +
+                    std::to_string(se_free()) + ")");
+  }
+  if (crossings_used_ + need_x > spec_.derived_crossings()) {
+    throw FlowError("RCM grid '" + name + "': out of track crossings");
+  }
+  if (controllers_used_ + need_c > spec_.derived_input_controllers()) {
+    throw FlowError("RCM grid '" + name + "': out of input controllers");
+  }
+
+  Instance inst;
+  inst.name = std::move(name);
+  inst.sites.reserve(need_se);
+  for (std::size_t i = 0; i < need_se; ++i) {
+    inst.sites.push_back(se_used_ + i);  // sites handed out row-major
+  }
+  inst.network = std::move(network);
+
+  se_used_ += need_se;
+  crossings_used_ += need_x;
+  controllers_used_ += need_c;
+  instances_.push_back(std::move(inst));
+  return instances_.size() - 1;
+}
+
+const std::string& RcmGrid::instance_name(std::size_t id) const {
+  MCFPGA_REQUIRE(id < instances_.size(), "instance id out of range");
+  return instances_[id].name;
+}
+
+const DecoderNetwork& RcmGrid::instance_network(std::size_t id) const {
+  MCFPGA_REQUIRE(id < instances_.size(), "instance id out of range");
+  return instances_[id].network;
+}
+
+const std::vector<std::size_t>& RcmGrid::instance_sites(std::size_t id) const {
+  MCFPGA_REQUIRE(id < instances_.size(), "instance id out of range");
+  return instances_[id].sites;
+}
+
+bool RcmGrid::instance_output(std::size_t id, std::size_t context) const {
+  return instance_network(id).eval(context);
+}
+
+double RcmGrid::utilization() const {
+  return se_capacity() == 0
+             ? 0.0
+             : static_cast<double>(se_used_) / static_cast<double>(se_capacity());
+}
+
+}  // namespace mcfpga::rcm

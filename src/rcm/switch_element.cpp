@@ -1,0 +1,37 @@
+#include "rcm/switch_element.hpp"
+
+#include "common/error.hpp"
+
+namespace mcfpga::rcm {
+
+SwitchElement SwitchElement::constant(bool value) {
+  SwitchElement se;
+  se.d1 = false;
+  se.d0 = value;
+  return se;
+}
+
+SwitchElement SwitchElement::id_bit(std::size_t bit, bool inverted) {
+  SwitchElement se;
+  se.d1 = true;
+  se.u = IdBitRef{bit, inverted};
+  return se;
+}
+
+bool SwitchElement::eval(std::size_t context) const {
+  if (!d1) {
+    return d0;
+  }
+  MCFPGA_CHECK(u.has_value(),
+               "SE with D1=1 evaluated without a variable-input source");
+  return u->value_in(context);
+}
+
+std::string SwitchElement::describe() const {
+  if (!d1) {
+    return d0 ? "G=1" : "G=0";
+  }
+  return "G=" + (u ? u->name() : std::string("<floating U>"));
+}
+
+}  // namespace mcfpga::rcm

@@ -1,0 +1,63 @@
+// Switch element (SE) — the atom of the reconfigurable context memory
+// (paper Fig. 8; FePG device realization in Fig. 15).
+//
+// An SE holds two memory bits (D1, D0) and a 2:1 multiplexer computing
+//
+//     G = D1 ? U : D0
+//
+// where U is the SE's variable input.  G either drives a wire directly
+// (decoder "driver" role) or controls the SE's routing pass-gate
+// ("gater" role: the pass-gate connects two tracks when G = 1).
+//
+//   D1 = 0          -> G is the constant D0   (Fig. 3 patterns, 1 SE)
+//   D1 = 1, U = Sj  -> G mirrors ID bit Sj    (Fig. 4 patterns, 1 SE;
+//                       the complement uses an input controller, Fig. 7c)
+//   otherwise       -> compose several SEs    (Fig. 5 patterns, Fig. 9)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "config/context_id.hpp"
+
+namespace mcfpga::rcm {
+
+/// Reference to a context-ID bit, optionally complemented by an input
+/// controller (Fig. 7c).
+struct IdBitRef {
+  std::size_t bit = 0;
+  bool inverted = false;
+
+  bool value_in(std::size_t context) const {
+    return config::id_bit_value(context, bit) != inverted;
+  }
+  std::string name() const { return config::id_bit_name(bit, inverted); }
+  bool operator==(const IdBitRef&) const = default;
+};
+
+/// Programming of one switch element.
+struct SwitchElement {
+  bool d1 = false;
+  bool d0 = false;
+  /// Variable-input source; only sampled when d1 = 1.  nullopt models a
+  /// floating U input (legal when d1 = 0).
+  std::optional<IdBitRef> u;
+
+  /// Constant-G programming (Fig. 3 row): G = value in every context.
+  static SwitchElement constant(bool value);
+  /// ID-bit programming (Fig. 4 row): G = Sj or ~Sj.
+  static SwitchElement id_bit(std::size_t bit, bool inverted);
+
+  /// G given an explicit U value.
+  bool eval_with_u(bool u_value) const { return d1 ? u_value : d0; }
+  /// G in a given context (U resolved through the IdBitRef).
+  bool eval(std::size_t context) const;
+
+  /// True if this SE needs an input controller (complemented U).
+  bool uses_input_controller() const { return d1 && u && u->inverted; }
+
+  /// "G=0", "G=S1", "G=~S0" ... for reports.
+  std::string describe() const;
+};
+
+}  // namespace mcfpga::rcm

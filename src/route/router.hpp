@@ -1,0 +1,93 @@
+// PathFinder-style negotiated-congestion router over the fabric's
+// routing-resource graph (paper Sec. 3).
+//
+// Each context is routed independently — a physical wire can carry a
+// different signal in every context, which is exactly what gives the
+// per-switch context patterns their structure.  Within a context the
+// classic PathFinder loop applies: rip-up and reroute every net with
+// node costs inflated by present congestion and accumulated history until
+// no wire is shared.
+//
+// Delay accounting follows the paper's SE model: every switch crossed
+// costs one SE delay, so a straight run of L cells costs L switches on
+// single-length wires but only ceil(L/2) diamond crossings on
+// double-length lines (Fig. 10) — the router's base costs make the fast
+// lines attractive for long connections, and `prefer_double_length`
+// lets benches toggle the feature for the E5 comparison.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/routing_graph.hpp"
+#include "config/bitstream.hpp"
+#include "config/pattern.hpp"
+
+namespace mcfpga::route {
+
+struct RouteNet {
+  std::string name;
+  arch::NodeId source = arch::kInvalidNode;
+  std::vector<arch::NodeId> sinks;
+};
+
+struct RoutedPath {
+  arch::NodeId sink = arch::kInvalidNode;
+  /// Edges from the net's routed tree to this sink, source-to-sink order.
+  std::vector<arch::EdgeId> edges;
+  /// Switches crossed = edges.size(); the SE-delay of this connection.
+  std::size_t switch_count() const { return edges.size(); }
+  /// Switches crossed inside diamond switches (double-length usage marker).
+  std::size_t diamond_count = 0;
+};
+
+struct RoutedNet {
+  std::string name;
+  arch::NodeId source = arch::kInvalidNode;
+  std::vector<RoutedPath> paths;
+};
+
+struct RouterOptions {
+  std::size_t max_iterations = 40;
+  /// Multiplier on present congestion added per iteration.
+  double present_factor_growth = 1.6;
+  double history_increment = 1.0;
+  /// When false, double-length wires are priced off the table (E5 ablation).
+  bool prefer_double_length = true;
+};
+
+struct RouteResult {
+  bool success = false;
+  std::size_t iterations = 0;
+  /// nets[context][i] corresponds to the input nets of that context.
+  std::vector<std::vector<RoutedNet>> nets;
+  /// Per-switch on/off pattern across contexts (indexed by SwitchId).
+  std::vector<config::ContextPattern> switch_patterns;
+
+  /// Worst switch count over all sink connections of one context.
+  std::size_t critical_switches(std::size_t context) const;
+  /// Full-fabric routing bitstream: one row per physical switch (including
+  /// the never-used, constant-0 ones — they exist in silicon and dominate
+  /// the pattern census).
+  config::Bitstream to_bitstream(const arch::RoutingGraph& graph) const;
+};
+
+class Router {
+ public:
+  Router(const arch::RoutingGraph& graph, RouterOptions options = {});
+
+  /// Routes all contexts; nets_per_context.size() must equal the fabric's
+  /// context count.  Throws FlowError when a net is unroutable outright
+  /// (no physical path); returns success=false when congestion cannot be
+  /// resolved within max_iterations.
+  RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context)
+      const;
+
+ private:
+  const arch::RoutingGraph& graph_;
+  RouterOptions options_;
+};
+
+}  // namespace mcfpga::route

@@ -1,0 +1,53 @@
+#include "sim/context_scheduler.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mcfpga::sim {
+
+ContextScheduler::ContextScheduler(std::size_t num_contexts,
+                                   std::vector<std::size_t> order)
+    : num_contexts_(num_contexts), order_(std::move(order)) {
+  MCFPGA_REQUIRE(num_contexts >= 1, "need at least one context");
+  if (order_.empty()) {
+    order_.resize(num_contexts);
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+  for (const std::size_t c : order_) {
+    MCFPGA_REQUIRE(c < num_contexts_, "schedule entry out of range");
+  }
+}
+
+std::size_t ContextScheduler::context_at(std::size_t cycle) const {
+  return order_[cycle % order_.size()];
+}
+
+ScheduleStats ContextScheduler::run(const config::Bitstream& bitstream,
+                                    std::size_t cycles) const {
+  MCFPGA_REQUIRE(bitstream.num_contexts() == num_contexts_,
+                 "bitstream context count must match scheduler");
+  ScheduleStats stats;
+  stats.cycles = cycles;
+  if (cycles <= 1) {
+    return stats;
+  }
+  // Pre-extract planes once; diff consecutive scheduled contexts.
+  std::vector<BitVector> planes;
+  planes.reserve(num_contexts_);
+  for (std::size_t c = 0; c < num_contexts_; ++c) {
+    planes.push_back(bitstream.plane(c));
+  }
+  for (std::size_t cycle = 1; cycle < cycles; ++cycle) {
+    const std::size_t prev = context_at(cycle - 1);
+    const std::size_t cur = context_at(cycle);
+    if (prev == cur) {
+      continue;
+    }
+    ++stats.context_switches;
+    stats.bits_toggled += planes[prev].hamming_distance(planes[cur]);
+  }
+  return stats;
+}
+
+}  // namespace mcfpga::sim

@@ -1,0 +1,53 @@
+// Context scheduling and context-switch accounting (paper Secs. 1, 3).
+//
+// A DPGA cycles through its contexts; switching is a single-cycle event
+// because every configuration bit is regenerated locally (conventional
+// fabric: plane mux; proposed fabric: RCM decode of the broadcast ID bits).
+// The scheduler models the rotation and accounts two costs per switch:
+//   * configuration bits whose value changes (dynamic energy);
+//   * the decode latency in SE units (flat, from the decoder depth).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "config/bitstream.hpp"
+
+namespace mcfpga::sim {
+
+struct ScheduleStats {
+  std::size_t cycles = 0;
+  std::size_t context_switches = 0;
+  /// Total configuration bits that toggled over all switches performed.
+  std::size_t bits_toggled = 0;
+  /// Average toggled bits per switch.
+  double avg_bits_per_switch() const {
+    return context_switches == 0
+               ? 0.0
+               : static_cast<double>(bits_toggled) /
+                     static_cast<double>(context_switches);
+  }
+};
+
+class ContextScheduler {
+ public:
+  /// Round-robin over all contexts when `order` is empty.
+  explicit ContextScheduler(std::size_t num_contexts,
+                            std::vector<std::size_t> order = {});
+
+  std::size_t num_contexts() const { return num_contexts_; }
+  const std::vector<std::size_t>& order() const { return order_; }
+  /// Context active in a given cycle.
+  std::size_t context_at(std::size_t cycle) const;
+
+  /// Simulates `cycles` cycles of rotation over `bitstream` and counts the
+  /// configuration-bit activity at every context switch.
+  ScheduleStats run(const config::Bitstream& bitstream,
+                    std::size_t cycles) const;
+
+ private:
+  std::size_t num_contexts_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace mcfpga::sim

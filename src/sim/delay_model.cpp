@@ -1,0 +1,73 @@
+#include "sim/delay_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mcfpga::sim {
+
+TimingReport analyze_timing(std::size_t num_nodes,
+                            const std::vector<TimingArc>& arcs,
+                            const DelayParams& params) {
+  std::vector<std::size_t> indegree(num_nodes, 0);
+  std::vector<std::vector<std::size_t>> fanout(num_nodes);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const auto& a = arcs[i];
+    MCFPGA_REQUIRE(a.from < num_nodes && a.to < num_nodes,
+                   "timing arc endpoint out of range");
+    ++indegree[a.to];
+    fanout[a.from].push_back(i);
+  }
+
+  TimingReport report;
+  report.arrival.assign(num_nodes, 0.0);
+  std::vector<std::size_t> critical_pred(num_nodes, SIZE_MAX);
+
+  // Kahn topological relaxation.
+  std::vector<std::size_t> ready;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    if (indegree[n] == 0) {
+      ready.push_back(n);
+    }
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const std::size_t ai : fanout[u]) {
+      const auto& a = arcs[ai];
+      const double t = report.arrival[u] +
+                       params.se_delay * static_cast<double>(a.switches) +
+                       (a.to_is_lut ? params.lut_delay : 0.0);
+      if (t > report.arrival[a.to]) {
+        report.arrival[a.to] = t;
+        critical_pred[a.to] = u;
+      }
+      if (--indegree[a.to] == 0) {
+        ready.push_back(a.to);
+      }
+    }
+  }
+  MCFPGA_CHECK(processed == num_nodes,
+               "timing graph contains a combinational cycle");
+
+  std::size_t worst = 0;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    if (report.arrival[n] > report.arrival[worst]) {
+      worst = n;
+    }
+  }
+  report.critical_path = num_nodes == 0 ? 0.0 : report.arrival[worst];
+
+  for (std::size_t n = worst; n != SIZE_MAX; n = critical_pred[n]) {
+    report.critical_nodes.push_back(n);
+    if (report.critical_nodes.size() > num_nodes) {
+      break;  // defensive: corrupt pred chain
+    }
+  }
+  std::reverse(report.critical_nodes.begin(), report.critical_nodes.end());
+  return report;
+}
+
+}  // namespace mcfpga::sim

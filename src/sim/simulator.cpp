@@ -1,0 +1,203 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mcfpga::sim {
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::int32_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) {
+      parent[static_cast<std::size_t>(b)] = a;
+    }
+  }
+};
+
+constexpr std::int8_t kUnknown = -1;
+
+/// True iff the truth table's value can depend on address bit `pin`.
+bool pin_is_relevant(const BitVector& table, std::size_t pin) {
+  const std::size_t bit = std::size_t{1} << pin;
+  if (bit >= table.size()) {
+    return false;
+  }
+  for (std::size_t a = 0; a < table.size(); ++a) {
+    if ((a & bit) == 0 && table.get(a) != table.get(a | bit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FabricSimulator::FabricSimulator(const arch::RoutingGraph& graph,
+                                 FabricProgram program)
+    : graph_(graph), program_(std::move(program)) {
+  MCFPGA_REQUIRE(program_.switch_patterns.size() == graph_.num_switches(),
+                 "program must cover every physical switch");
+  const std::size_t num_contexts = graph_.spec().num_contexts;
+  comp_.resize(num_contexts);
+  comp_count_.resize(num_contexts);
+  driver_of_comp_.resize(num_contexts);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    build_context(c);
+  }
+}
+
+void FabricSimulator::build_context(std::size_t context) {
+  UnionFind uf(graph_.num_nodes());
+  for (std::size_t s = 0; s < graph_.num_switches(); ++s) {
+    if (program_.switch_patterns[s].value_in(context)) {
+      const auto& sw = graph_.rr_switch(static_cast<arch::SwitchId>(s));
+      const auto& e = graph_.edge(sw.forward);
+      uf.unite(e.from, e.to);
+    }
+  }
+  // Compact component ids.
+  auto& comp = comp_[context];
+  comp.assign(graph_.num_nodes(), -1);
+  std::int32_t next = 0;
+  for (std::size_t n = 0; n < graph_.num_nodes(); ++n) {
+    const std::int32_t root = uf.find(static_cast<std::int32_t>(n));
+    if (comp[static_cast<std::size_t>(root)] == -1) {
+      comp[static_cast<std::size_t>(root)] = next++;
+    }
+    comp[n] = comp[static_cast<std::size_t>(root)];
+  }
+  comp_count_[context] = static_cast<std::size_t>(next);
+
+  // Single-driver invariant: PI pads and used LB output pins drive.
+  auto& driver = driver_of_comp_[context];
+  driver.assign(comp_count_[context], arch::kInvalidNode);
+  const auto claim = [&](arch::NodeId node) {
+    const std::int32_t cid = comp[static_cast<std::size_t>(node)];
+    if (driver[static_cast<std::size_t>(cid)] != arch::kInvalidNode &&
+        driver[static_cast<std::size_t>(cid)] != node) {
+      throw ProgrammingError(
+          "two drivers shorted in context " + std::to_string(context) + ": " +
+          graph_.node(driver[static_cast<std::size_t>(cid)]).name + " and " +
+          graph_.node(node).name);
+    }
+    driver[static_cast<std::size_t>(cid)] = node;
+  };
+  for (const auto& [name, pad] : program_.input_pads) {
+    claim(graph_.pad(pad));
+  }
+  for (const auto& lb : program_.lbs) {
+    for (std::size_t o = 0; o < lb.outputs.size(); ++o) {
+      if (lb.outputs[o].used) {
+        claim(graph_.out_pin(lb.x, lb.y, o));
+      }
+    }
+  }
+}
+
+netlist::ValueMap FabricSimulator::eval(
+    std::size_t context, const netlist::ValueMap& pi_values) const {
+  MCFPGA_REQUIRE(context < comp_.size(), "context out of range");
+  const auto& comp = comp_[context];
+  const auto& driver = driver_of_comp_[context];
+
+  std::vector<std::int8_t> value(comp_count_[context], kUnknown);
+  // Undriven components float to 0 (pull-down model).
+  for (std::size_t cid = 0; cid < comp_count_[context]; ++cid) {
+    if (driver[cid] == arch::kInvalidNode) {
+      value[cid] = 0;
+    }
+  }
+  for (const auto& [name, pad] : program_.input_pads) {
+    const auto it = pi_values.find(name);
+    const bool v = it != pi_values.end() && it->second;
+    value[static_cast<std::size_t>(
+        comp[static_cast<std::size_t>(graph_.pad(pad))])] = v ? 1 : 0;
+  }
+
+  // Evaluate logic blocks to fixpoint (combinational, so at most one pass
+  // per logic level is needed).  Each OUTPUT evaluates as soon as the pins
+  // its active plane's truth table actually depends on are resolved —
+  // exactly like the hardware, where a LUT output is a pure function and
+  // unread address inputs cannot affect it.  Whole-block readiness would
+  // deadlock blocks whose second output feeds a loop through another block.
+  const std::size_t max_passes = program_.lbs.size() + 2;
+  const std::size_t plane_mask_context = context;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (const auto& lb : program_.lbs) {
+      const std::size_t k = lb.mode.inputs;
+      const std::size_t plane = plane_mask_context & (lb.mode.planes - 1);
+      for (std::size_t o = 0; o < lb.outputs.size(); ++o) {
+        if (!lb.outputs[o].used) {
+          continue;
+        }
+        const BitVector& table = lb.outputs[o].plane_tables[plane];
+        std::size_t address = 0;
+        bool ready = true;
+        for (std::size_t p = 0; p < k && ready; ++p) {
+          const arch::NodeId pin = graph_.in_pin(lb.x, lb.y, p);
+          const std::int8_t v = value[static_cast<std::size_t>(
+              comp[static_cast<std::size_t>(pin)])];
+          if (v == 1) {
+            address |= std::size_t{1} << p;
+          } else if (v == kUnknown && pin_is_relevant(table, p)) {
+            ready = false;
+          }
+        }
+        if (!ready) {
+          continue;
+        }
+        const bool out = table.get(address);
+        const arch::NodeId pin = graph_.out_pin(lb.x, lb.y, o);
+        auto& slot = value[static_cast<std::size_t>(
+            comp[static_cast<std::size_t>(pin)])];
+        const std::int8_t nv = out ? 1 : 0;
+        if (slot != nv) {
+          MCFPGA_CHECK(slot == kUnknown || pass + 1 < max_passes,
+                       "combinational loop or driver conflict");
+          slot = nv;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  netlist::ValueMap out;
+  for (const auto& [name, pad] : program_.output_pads) {
+    const std::int8_t v = value[static_cast<std::size_t>(
+        comp[static_cast<std::size_t>(graph_.pad(pad))])];
+    MCFPGA_CHECK(v != kUnknown,
+                 "primary output '" + name + "' did not resolve");
+    out[name] = v == 1;
+  }
+  return out;
+}
+
+std::size_t FabricSimulator::num_components(std::size_t context) const {
+  MCFPGA_REQUIRE(context < comp_count_.size(), "context out of range");
+  return comp_count_[context];
+}
+
+}  // namespace mcfpga::sim

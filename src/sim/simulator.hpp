@@ -1,0 +1,81 @@
+// Cycle-level functional simulator of a programmed fabric.
+//
+// The simulator works at the physical level the paper argues about:
+// per context, every ON pass-gate (from the per-switch context patterns —
+// themselves producible by either the conventional context memory or the
+// RCM decoders, which are verified equivalent) shorts its two routing
+// nodes together.  Electrical components are built with union-find; each
+// component takes the value of its unique driver (a primary-input pad or a
+// used logic-block output pin), and logic blocks are evaluated to fixpoint.
+// Outputs are read at primary-output pads.
+//
+// Because the simulator never looks at the netlist, agreement with the
+// netlist reference evaluator (netlist/eval.hpp) is an end-to-end proof
+// that mapping, placement, routing and programming are all consistent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/routing_graph.hpp"
+#include "common/bitvector.hpp"
+#include "config/pattern.hpp"
+#include "lut/mcmg_lut.hpp"
+#include "netlist/eval.hpp"
+
+namespace mcfpga::sim {
+
+struct LbOutputConfig {
+  bool used = false;
+  /// plane_tables[plane] = truth table over the LB's input PINS (address
+  /// bit i = pin i), 2^mode.inputs bits each.
+  std::vector<BitVector> plane_tables;
+};
+
+struct LbConfig {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  lut::LutMode mode;
+  std::vector<LbOutputConfig> outputs;
+};
+
+struct FabricProgram {
+  /// Per-switch on/off pattern across contexts, indexed by SwitchId.
+  std::vector<config::ContextPattern> switch_patterns;
+  std::vector<LbConfig> lbs;
+  /// Primary input/output name -> pad index (RoutingGraph::pad()).
+  std::map<std::string, std::size_t> input_pads;
+  std::map<std::string, std::size_t> output_pads;
+};
+
+class FabricSimulator {
+ public:
+  /// Builds per-context electrical components.  Throws ProgrammingError if
+  /// any component has two drivers (shorted outputs) in some context.
+  FabricSimulator(const arch::RoutingGraph& graph, FabricProgram program);
+
+  /// Combinationally evaluates one context.  Unknown PI names default to 0.
+  /// Returns the values at every primary-output pad.
+  netlist::ValueMap eval(std::size_t context,
+                         const netlist::ValueMap& pi_values) const;
+
+  /// Electrical components in one context (diagnostics).
+  std::size_t num_components(std::size_t context) const;
+
+  const FabricProgram& program() const { return program_; }
+
+ private:
+  void build_context(std::size_t context);
+
+  const arch::RoutingGraph& graph_;
+  FabricProgram program_;
+  /// comp_[context][node] = component id.
+  std::vector<std::vector<std::int32_t>> comp_;
+  std::vector<std::size_t> comp_count_;
+  /// driver_of_comp_[context][comp] = driving node (or -1 if undriven).
+  std::vector<std::vector<arch::NodeId>> driver_of_comp_;
+};
+
+}  // namespace mcfpga::sim

@@ -1,0 +1,39 @@
+// Synthetic bitstream generation with the paper's statistical knobs.
+//
+// The Sec. 5 evaluation is driven by one number: the fraction of
+// configuration bits that change between contexts (assumed 5%, citing the
+// <3% measurement of [Kennedy FPL'03]).  These generators produce
+// bitstreams whose measured change rate matches the requested one, so the
+// area benches can sweep it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/bitstream.hpp"
+
+namespace mcfpga::workload {
+
+struct BitstreamGenParams {
+  std::size_t rows = 1000;
+  std::size_t num_contexts = 4;
+  /// Probability a row is ON in context 0 (routing fabrics are sparse).
+  double on_probability = 0.12;
+  /// Per-transition flip probability: each bit flips with this probability
+  /// between consecutive contexts (the paper's "change rate").
+  double change_rate = 0.05;
+  /// Fraction of rows overwritten with a random ID-bit pattern (Sj / ~Sj):
+  /// injected "regularity" in the paper's Table-1 sense.
+  double regularity_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// One flat bitstream with the requested statistics.
+config::Bitstream generate_bitstream(const BitstreamGenParams& params);
+
+/// The same rows chopped into blocks of `block_rows` (one Bitstream per
+/// switch block, as the per-block decoder-sharing area model consumes).
+std::vector<config::Bitstream> generate_blocks(
+    const BitstreamGenParams& params, std::size_t block_rows);
+
+}  // namespace mcfpga::workload

@@ -1,0 +1,296 @@
+#include "workload/circuits.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mcfpga::workload {
+
+namespace {
+
+using netlist::Dfg;
+using netlist::NodeRef;
+
+BitVector tt_from_fn(std::size_t arity, bool (*fn)(std::size_t)) {
+  BitVector tt(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < tt.size(); ++a) {
+    tt.set(a, fn(a));
+  }
+  return tt;
+}
+
+BitVector tt_xor2() {
+  return tt_from_fn(2, [](std::size_t a) { return ((a & 1) ^ ((a >> 1) & 1)) != 0; });
+}
+BitVector tt_xor3() {
+  return tt_from_fn(
+      3, [](std::size_t a) { return ((a & 1) ^ ((a >> 1) & 1) ^ ((a >> 2) & 1)) != 0; });
+}
+BitVector tt_maj3() {
+  return tt_from_fn(3, [](std::size_t a) {
+    return (static_cast<int>(a & 1) + static_cast<int>((a >> 1) & 1) +
+            static_cast<int>((a >> 2) & 1)) >= 2;
+  });
+}
+BitVector tt_and2() {
+  return tt_from_fn(2, [](std::size_t a) { return (a & 3) == 3; });
+}
+BitVector tt_xnor2() {
+  return tt_from_fn(2, [](std::size_t a) { return ((a & 1) ^ ((a >> 1) & 1)) == 0; });
+}
+BitVector tt_mux3() {
+  // out = in2 ? in1 : in0
+  return tt_from_fn(3, [](std::size_t a) {
+    return ((a >> 2) & 1) != 0 ? ((a >> 1) & 1) != 0 : (a & 1) != 0;
+  });
+}
+
+}  // namespace
+
+Dfg ripple_carry_adder(std::size_t bits, const std::string& prefix) {
+  MCFPGA_REQUIRE(bits >= 1, "adder needs at least one bit");
+  Dfg dfg;
+  std::vector<NodeRef> a(bits);
+  std::vector<NodeRef> b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    a[i] = dfg.add_input(prefix + "a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    b[i] = dfg.add_input(prefix + "b" + std::to_string(i));
+  }
+  const NodeRef cin = dfg.add_input(prefix + "cin");
+
+  NodeRef carry = cin;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NodeRef sum = dfg.add_lut(prefix + "sum" + std::to_string(i),
+                                    {a[i], b[i], carry}, tt_xor3());
+    carry = dfg.add_lut(prefix + "carry" + std::to_string(i),
+                        {a[i], b[i], carry}, tt_maj3());
+    dfg.mark_output(sum, prefix + "s" + std::to_string(i));
+  }
+  dfg.mark_output(carry, prefix + "cout");
+  dfg.validate();
+  return dfg;
+}
+
+Dfg parity_tree(std::size_t inputs, const std::string& prefix) {
+  MCFPGA_REQUIRE(inputs >= 2, "parity tree needs >= 2 inputs");
+  Dfg dfg;
+  std::vector<NodeRef> layer(inputs);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    layer[i] = dfg.add_input(prefix + "x" + std::to_string(i));
+  }
+  std::size_t serial = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeRef> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(dfg.add_lut(prefix + "p" + std::to_string(serial++),
+                                 {layer[i], layer[i + 1]}, tt_xor2()));
+    }
+    if (layer.size() % 2 == 1) {
+      next.push_back(layer.back());
+    }
+    layer = std::move(next);
+  }
+  dfg.mark_output(layer[0], prefix + "parity");
+  dfg.validate();
+  return dfg;
+}
+
+Dfg comparator(std::size_t bits, const std::string& prefix) {
+  MCFPGA_REQUIRE(bits >= 1, "comparator needs at least one bit");
+  Dfg dfg;
+  std::vector<NodeRef> a(bits);
+  std::vector<NodeRef> b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    a[i] = dfg.add_input(prefix + "a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    b[i] = dfg.add_input(prefix + "b" + std::to_string(i));
+  }
+  NodeRef eq = dfg.add_lut(prefix + "eq0", {a[0], b[0]}, tt_xnor2());
+  for (std::size_t i = 1; i < bits; ++i) {
+    const NodeRef bit_eq =
+        dfg.add_lut(prefix + "beq" + std::to_string(i), {a[i], b[i]},
+                    tt_xnor2());
+    eq = dfg.add_lut(prefix + "eq" + std::to_string(i), {eq, bit_eq},
+                     tt_and2());
+  }
+  dfg.mark_output(eq, prefix + "eq");
+  dfg.validate();
+  return dfg;
+}
+
+Dfg array_multiplier(std::size_t bits, const std::string& prefix) {
+  MCFPGA_REQUIRE(bits >= 1 && bits <= 8, "multiplier bits in [1, 8]");
+  Dfg dfg;
+  std::vector<NodeRef> a(bits);
+  std::vector<NodeRef> b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    a[i] = dfg.add_input(prefix + "a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    b[i] = dfg.add_input(prefix + "b" + std::to_string(i));
+  }
+  // Partial products.
+  std::vector<std::vector<NodeRef>> pp(bits, std::vector<NodeRef>(bits));
+  for (std::size_t i = 0; i < bits; ++i) {
+    for (std::size_t j = 0; j < bits; ++j) {
+      pp[i][j] = dfg.add_lut(
+          prefix + "pp" + std::to_string(i) + "_" + std::to_string(j),
+          {a[j], b[i]}, tt_and2());
+    }
+  }
+  // Ripple accumulation of shifted rows.  Before adding row i, `acc` holds
+  // weights (i-1)..(i-1)+acc.size()-1; the low bit is final and the rest is
+  // ripple-added to row i's partial products.
+  std::vector<NodeRef> acc(pp[0]);  // row 0: weights 0..bits-1
+  std::size_t serial = 0;
+  std::vector<NodeRef> result;
+  for (std::size_t i = 1; i < bits; ++i) {
+    result.push_back(acc[0]);  // weight i-1 is final
+    const std::vector<NodeRef> rest(acc.begin() + 1, acc.end());
+    std::vector<NodeRef> next;
+    NodeRef carry = netlist::kNoNode;
+    const std::size_t lanes = std::max(rest.size(), pp[i].size());
+    for (std::size_t j = 0; j < lanes; ++j) {
+      std::vector<NodeRef> terms;
+      if (j < rest.size()) {
+        terms.push_back(rest[j]);
+      }
+      if (j < pp[i].size()) {
+        terms.push_back(pp[i][j]);
+      }
+      if (carry != netlist::kNoNode) {
+        terms.push_back(carry);
+        carry = netlist::kNoNode;
+      }
+      if (terms.size() == 3) {
+        next.push_back(dfg.add_lut(prefix + "fa_s" + std::to_string(serial),
+                                   terms, tt_xor3()));
+        carry = dfg.add_lut(prefix + "fa_c" + std::to_string(serial++),
+                            terms, tt_maj3());
+      } else if (terms.size() == 2) {
+        next.push_back(dfg.add_lut(prefix + "ha_s" + std::to_string(serial),
+                                   terms, tt_xor2()));
+        carry = dfg.add_lut(prefix + "ha_c" + std::to_string(serial++),
+                            terms, tt_and2());
+      } else {
+        next.push_back(terms[0]);
+      }
+    }
+    if (carry != netlist::kNoNode) {
+      next.push_back(carry);
+    }
+    acc = std::move(next);
+  }
+  // Remaining accumulated bits are the high outputs.
+  for (const NodeRef node : acc) {
+    result.push_back(node);
+  }
+  for (std::size_t w = 0; w < result.size(); ++w) {
+    dfg.mark_output(result[w], prefix + "p" + std::to_string(w));
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg crc_step(std::size_t width, std::uint64_t poly,
+             const std::string& prefix) {
+  MCFPGA_REQUIRE(width >= 2 && width <= 64, "CRC width in [2, 64]");
+  Dfg dfg;
+  std::vector<NodeRef> state(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    state[i] = dfg.add_input(prefix + "s" + std::to_string(i));
+  }
+  const NodeRef din = dfg.add_input(prefix + "din");
+  // feedback = state[width-1] XOR din.
+  const NodeRef fb =
+      dfg.add_lut(prefix + "fb", {state[width - 1], din}, tt_xor2());
+  // next[0] = fb; next[i] = state[i-1] XOR (poly_i ? fb : 0).
+  dfg.mark_output(fb, prefix + "n0");
+  for (std::size_t i = 1; i < width; ++i) {
+    if ((poly >> i) & 1) {
+      const NodeRef n = dfg.add_lut(prefix + "nx" + std::to_string(i),
+                                    {state[i - 1], fb}, tt_xor2());
+      dfg.mark_output(n, prefix + "n" + std::to_string(i));
+    } else {
+      // Pass-through: a 1-input buffer LUT keeps the DFG uniform.
+      BitVector buf(2);
+      buf.set(1, true);
+      const NodeRef n = dfg.add_lut(prefix + "nb" + std::to_string(i),
+                                    {state[i - 1]}, buf);
+      dfg.mark_output(n, prefix + "n" + std::to_string(i));
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg mux_tree(std::size_t sel_bits, const std::string& prefix) {
+  MCFPGA_REQUIRE(sel_bits >= 1 && sel_bits <= 6, "sel bits in [1, 6]");
+  Dfg dfg;
+  const std::size_t leaves = std::size_t{1} << sel_bits;
+  std::vector<NodeRef> sel(sel_bits);
+  for (std::size_t i = 0; i < sel_bits; ++i) {
+    sel[i] = dfg.add_input(prefix + "sel" + std::to_string(i));
+  }
+  std::vector<NodeRef> layer(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    layer[i] = dfg.add_input(prefix + "d" + std::to_string(i));
+  }
+  std::size_t serial = 0;
+  for (std::size_t level = 0; level < sel_bits; ++level) {
+    std::vector<NodeRef> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(dfg.add_lut(prefix + "m" + std::to_string(serial++),
+                                 {layer[i], layer[i + 1], sel[level]},
+                                 tt_mux3()));
+    }
+    layer = std::move(next);
+  }
+  dfg.mark_output(layer[0], prefix + "out");
+  dfg.validate();
+  return dfg;
+}
+
+netlist::MultiContextNetlist pipeline_workload(std::size_t num_contexts,
+                                               std::size_t data_bits) {
+  MCFPGA_REQUIRE(num_contexts >= 2, "pipeline needs >= 2 contexts");
+  MCFPGA_REQUIRE(data_bits >= 2, "pipeline needs >= 2 data bits");
+  netlist::MultiContextNetlist nl(num_contexts);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    // Shared front-end in every context: bitwise-equal comparators over the
+    // same named inputs (structurally identical across contexts -> shared
+    // classes).  Stage-specific back-end: stage index rotates the circuit.
+    Dfg& dfg = nl.context(c);
+    std::vector<NodeRef> a(data_bits);
+    std::vector<NodeRef> b(data_bits);
+    for (std::size_t i = 0; i < data_bits; ++i) {
+      a[i] = dfg.add_input("a" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < data_bits; ++i) {
+      b[i] = dfg.add_input("b" + std::to_string(i));
+    }
+    // Shared front-end nodes.
+    std::vector<NodeRef> eq(data_bits);
+    for (std::size_t i = 0; i < data_bits; ++i) {
+      eq[i] = dfg.add_lut("feq" + std::to_string(i), {a[i], b[i]},
+                          tt_xnor2());
+    }
+    // Stage-specific reduction: stage c starts folding at offset c.
+    NodeRef acc = eq[c % data_bits];
+    std::size_t serial = 0;
+    for (std::size_t i = 1; i < data_bits; ++i) {
+      const NodeRef next = eq[(c + i) % data_bits];
+      acc = dfg.add_lut("st" + std::to_string(c) + "_" +
+                            std::to_string(serial++),
+                        {acc, next}, (c % 2 == 0) ? tt_and2() : tt_xor2());
+    }
+    dfg.mark_output(acc, "y" + std::to_string(c));
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace mcfpga::workload

@@ -1,0 +1,47 @@
+// Structured benchmark-circuit generators.
+//
+// The paper evaluates with (unpublished) DFG mappings; these generators
+// provide the reproducible stand-ins: classic datapath and control kernels
+// expressed as truth-table DFGs, plus multi-context compositions in which
+// contexts implement pipeline stages that share common sub-logic — the
+// workload shape Sec. 4's adaptive logic block is designed for.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::workload {
+
+/// n-bit ripple-carry adder: inputs a[i], b[i], cin; outputs s[i], cout.
+netlist::Dfg ripple_carry_adder(std::size_t bits,
+                                const std::string& prefix = "");
+
+/// XOR-reduction parity tree over n inputs: output "parity".
+netlist::Dfg parity_tree(std::size_t inputs, const std::string& prefix = "");
+
+/// n-bit equality comparator: output "eq".
+netlist::Dfg comparator(std::size_t bits, const std::string& prefix = "");
+
+/// n x n array multiplier (AND partial products + carry-save rows):
+/// outputs p[0..2n-1].
+netlist::Dfg array_multiplier(std::size_t bits,
+                              const std::string& prefix = "");
+
+/// One CRC step: width-bit register state + 1 data bit in, next state out.
+/// `poly` gives the feedback taps (bit i set -> state bit i gets feedback).
+netlist::Dfg crc_step(std::size_t width, std::uint64_t poly,
+                      const std::string& prefix = "");
+
+/// Multiplexer tree selecting one of 2^sel_bits data inputs.
+netlist::Dfg mux_tree(std::size_t sel_bits, const std::string& prefix = "");
+
+/// Multi-context "pipeline" workload: context c implements stage c of a
+/// processing pipeline over the same primary inputs.  All stages share the
+/// same front-end (a parity/compare prefix), exercising cross-context node
+/// sharing.
+netlist::MultiContextNetlist pipeline_workload(std::size_t num_contexts,
+                                               std::size_t data_bits);
+
+}  // namespace mcfpga::workload

@@ -1,0 +1,340 @@
+#include "workload/datapath.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mcfpga::workload {
+
+namespace {
+
+using netlist::Dfg;
+using netlist::NodeRef;
+
+BitVector tt_from(std::size_t arity, bool (*fn)(std::size_t)) {
+  BitVector tt(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < tt.size(); ++a) {
+    tt.set(a, fn(a));
+  }
+  return tt;
+}
+
+BitVector tt_xor2() {
+  return tt_from(2, [](std::size_t a) {
+    return ((a ^ (a >> 1)) & 1) != 0;
+  });
+}
+BitVector tt_and2() {
+  return tt_from(2, [](std::size_t a) { return (a & 3) == 3; });
+}
+BitVector tt_or2() {
+  return tt_from(2, [](std::size_t a) { return (a & 3) != 0; });
+}
+BitVector tt_xor3() {
+  return tt_from(3, [](std::size_t a) {
+    return ((a ^ (a >> 1) ^ (a >> 2)) & 1) != 0;
+  });
+}
+BitVector tt_maj3() {
+  return tt_from(3, [](std::size_t a) {
+    return static_cast<int>(a & 1) + static_cast<int>((a >> 1) & 1) +
+               static_cast<int>((a >> 2) & 1) >=
+           2;
+  });
+}
+BitVector tt_mux3() {  // out = in2 ? in1 : in0
+  return tt_from(3, [](std::size_t a) {
+    return ((a >> 2) & 1) != 0 ? ((a >> 1) & 1) != 0 : (a & 1) != 0;
+  });
+}
+BitVector tt_not1() {
+  return tt_from(1, [](std::size_t a) { return (a & 1) == 0; });
+}
+BitVector tt_buf1() {
+  return tt_from(1, [](std::size_t a) { return (a & 1) != 0; });
+}
+
+}  // namespace
+
+Dfg alu(std::size_t bits, const std::string& prefix) {
+  MCFPGA_REQUIRE(bits >= 1 && bits <= 16, "ALU bits in [1, 16]");
+  Dfg dfg;
+  std::vector<NodeRef> a(bits);
+  std::vector<NodeRef> b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    a[i] = dfg.add_input(prefix + "a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    b[i] = dfg.add_input(prefix + "b" + std::to_string(i));
+  }
+  const NodeRef op0 = dfg.add_input(prefix + "op0");
+  const NodeRef op1 = dfg.add_input(prefix + "op1");
+
+  NodeRef carry = netlist::kNoNode;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const std::string sfx = std::to_string(i);
+    const NodeRef land = dfg.add_lut(prefix + "and" + sfx, {a[i], b[i]},
+                                     tt_and2());
+    const NodeRef lor = dfg.add_lut(prefix + "or" + sfx, {a[i], b[i]},
+                                    tt_or2());
+    const NodeRef lxor = dfg.add_lut(prefix + "xor" + sfx, {a[i], b[i]},
+                                     tt_xor2());
+    NodeRef sum;
+    if (i == 0) {
+      sum = lxor;  // no carry-in
+      carry = land;
+    } else {
+      sum = dfg.add_lut(prefix + "sum" + sfx, {a[i], b[i], carry},
+                        tt_xor3());
+      carry = dfg.add_lut(prefix + "cry" + sfx, {a[i], b[i], carry},
+                          tt_maj3());
+    }
+    // op: 00=AND, 01=OR, 10=XOR, 11=ADD — two mux levels.
+    const NodeRef lo = dfg.add_lut(prefix + "m0_" + sfx, {land, lor, op0},
+                                   tt_mux3());
+    const NodeRef hi = dfg.add_lut(prefix + "m1_" + sfx, {lxor, sum, op0},
+                                   tt_mux3());
+    const NodeRef r = dfg.add_lut(prefix + "m2_" + sfx, {lo, hi, op1},
+                                  tt_mux3());
+    dfg.mark_output(r, prefix + "r" + std::to_string(i));
+  }
+  dfg.mark_output(carry, prefix + "alu_cout");
+  dfg.validate();
+  return dfg;
+}
+
+Dfg barrel_rotator(std::size_t width, const std::string& prefix) {
+  MCFPGA_REQUIRE(width >= 2 && width <= 64 && std::has_single_bit(width),
+                 "rotator width must be a power of two in [2, 64]");
+  Dfg dfg;
+  std::vector<NodeRef> data(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    data[i] = dfg.add_input(prefix + "d" + std::to_string(i));
+  }
+  const std::size_t stages =
+      static_cast<std::size_t>(std::countr_zero(width));
+  std::vector<NodeRef> shift(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    shift[s] = dfg.add_input(prefix + "sh" + std::to_string(s));
+  }
+  std::vector<NodeRef> layer = data;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t amount = std::size_t{1} << s;
+    std::vector<NodeRef> next(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      // Rotate LEFT by `amount` when shift bit s is set: output i takes
+      // input (i - amount) mod width.
+      const std::size_t rotated = (i + width - amount) % width;
+      next[i] = dfg.add_lut(
+          prefix + "rot" + std::to_string(s) + "_" + std::to_string(i),
+          {layer[i], layer[rotated], shift[s]}, tt_mux3());
+    }
+    layer = std::move(next);
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    dfg.mark_output(layer[i], prefix + "q" + std::to_string(i));
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg priority_encoder(std::size_t width, const std::string& prefix) {
+  MCFPGA_REQUIRE(width >= 2 && width <= 64, "encoder width in [2, 64]");
+  Dfg dfg;
+  std::vector<NodeRef> req(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    req[i] = dfg.add_input(prefix + "req" + std::to_string(i));
+  }
+  // valid = OR-reduce; q bits = OR over requests whose index has that bit,
+  // masked so only the HIGHEST asserted request wins:
+  //   win[i] = req[i] AND NOT (req[i+1] OR ... OR req[width-1])
+  // Build suffix-OR chain top-down.
+  std::vector<NodeRef> suffix(width);  // OR of req[i+1..]
+  NodeRef acc = netlist::kNoNode;
+  for (std::size_t i = width; i-- > 0;) {
+    suffix[i] = acc;  // kNoNode for the top request
+    if (acc == netlist::kNoNode) {
+      acc = req[i];
+    } else {
+      acc = dfg.add_lut(prefix + "sor" + std::to_string(i), {req[i], acc},
+                        tt_or2());
+    }
+  }
+  const NodeRef valid = acc;  // OR of all requests
+  std::vector<NodeRef> win(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (suffix[i] == netlist::kNoNode) {
+      win[i] = dfg.add_lut(prefix + "win" + std::to_string(i), {req[i]},
+                           tt_buf1());
+    } else {
+      // win = req AND NOT suffix.
+      const NodeRef inv = dfg.add_lut(
+          prefix + "ninv" + std::to_string(i), {suffix[i]}, tt_not1());
+      win[i] = dfg.add_lut(prefix + "win" + std::to_string(i),
+                           {req[i], inv}, tt_and2());
+    }
+  }
+  const std::size_t qbits =
+      static_cast<std::size_t>(std::bit_width(width - 1));
+  for (std::size_t b = 0; b < qbits; ++b) {
+    NodeRef bit = netlist::kNoNode;
+    for (std::size_t i = 0; i < width; ++i) {
+      if (((i >> b) & 1) == 0) {
+        continue;
+      }
+      bit = bit == netlist::kNoNode
+                ? win[i]
+                : dfg.add_lut(prefix + "q" + std::to_string(b) + "_" +
+                                  std::to_string(i),
+                              {bit, win[i]}, tt_or2());
+    }
+    MCFPGA_CHECK(bit != netlist::kNoNode, "empty encoder bit");
+    dfg.mark_output(bit, prefix + "q" + std::to_string(b));
+  }
+  dfg.mark_output(valid, prefix + "valid");
+  dfg.validate();
+  return dfg;
+}
+
+Dfg popcount(std::size_t width, const std::string& prefix) {
+  MCFPGA_REQUIRE(width >= 2 && width <= 64, "popcount width in [2, 64]");
+  Dfg dfg;
+  // Column of 1-bit values per weight; reduce with full/half adders until
+  // every weight has one bit (carry-save counter tree).
+  std::vector<std::vector<NodeRef>> columns(1);
+  for (std::size_t i = 0; i < width; ++i) {
+    columns[0].push_back(dfg.add_input(prefix + "x" + std::to_string(i)));
+  }
+  std::size_t serial = 0;
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    while (columns[w].size() > 1) {
+      if (columns.size() == w + 1) {
+        columns.emplace_back();
+      }
+      if (columns[w].size() >= 3) {
+        const NodeRef x = columns[w][columns[w].size() - 1];
+        const NodeRef y = columns[w][columns[w].size() - 2];
+        const NodeRef z = columns[w][columns[w].size() - 3];
+        columns[w].resize(columns[w].size() - 3);
+        columns[w].push_back(dfg.add_lut(
+            prefix + "fs" + std::to_string(serial), {x, y, z}, tt_xor3()));
+        columns[w + 1].push_back(dfg.add_lut(
+            prefix + "fc" + std::to_string(serial++), {x, y, z}, tt_maj3()));
+      } else {
+        const NodeRef x = columns[w][columns[w].size() - 1];
+        const NodeRef y = columns[w][columns[w].size() - 2];
+        columns[w].resize(columns[w].size() - 2);
+        columns[w].push_back(dfg.add_lut(
+            prefix + "hs" + std::to_string(serial), {x, y}, tt_xor2()));
+        columns[w + 1].push_back(dfg.add_lut(
+            prefix + "hc" + std::to_string(serial++), {x, y}, tt_and2()));
+      }
+    }
+  }
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    MCFPGA_CHECK(columns[w].size() == 1, "unreduced popcount column");
+    dfg.mark_output(columns[w][0], prefix + "c" + std::to_string(w));
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg gray_to_binary(std::size_t width, const std::string& prefix) {
+  MCFPGA_REQUIRE(width >= 2 && width <= 64, "converter width in [2, 64]");
+  Dfg dfg;
+  std::vector<NodeRef> gray(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    gray[i] = dfg.add_input(prefix + "g" + std::to_string(i));
+  }
+  // b[width-1] = g[width-1]; b[i] = b[i+1] XOR g[i].
+  NodeRef bin = dfg.add_lut(prefix + "btop", {gray[width - 1]}, tt_buf1());
+  dfg.mark_output(bin, prefix + "b" + std::to_string(width - 1));
+  for (std::size_t i = width - 1; i-- > 0;) {
+    bin = dfg.add_lut(prefix + "bx" + std::to_string(i), {bin, gray[i]},
+                      tt_xor2());
+    dfg.mark_output(bin, prefix + "b" + std::to_string(i));
+  }
+  dfg.validate();
+  return dfg;
+}
+
+netlist::MultiContextNetlist virtual_datapath(std::size_t bits) {
+  MCFPGA_REQUIRE(bits >= 2 && bits <= 8 && std::has_single_bit(bits),
+                 "virtual datapath bits must be a power of two in [2, 8]");
+  netlist::MultiContextNetlist nl(4);
+  // Context 0: ALU over a/b.  The shared operand names let the placer
+  // reuse the same pads across contexts.
+  nl.context(0) = alu(bits);
+  // Context 1: rotate the a-operand (inputs named a<i> -> d<i> mapping via
+  // prefix-free construction: use the same names by custom build).
+  {
+    netlist::Dfg dfg;
+    std::vector<netlist::NodeRef> data(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      data[i] = dfg.add_input("a" + std::to_string(i));
+    }
+    const std::size_t stages =
+        static_cast<std::size_t>(std::countr_zero(bits));
+    std::vector<netlist::NodeRef> shift(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+      shift[s] = dfg.add_input("b" + std::to_string(s));  // reuse b pins
+    }
+    std::vector<netlist::NodeRef> layer = data;
+    for (std::size_t s = 0; s < stages; ++s) {
+      const std::size_t amount = std::size_t{1} << s;
+      std::vector<netlist::NodeRef> next(bits);
+      for (std::size_t i = 0; i < bits; ++i) {
+        const std::size_t rotated = (i + bits - amount) % bits;
+        next[i] = dfg.add_lut(
+            "rot" + std::to_string(s) + "_" + std::to_string(i),
+            {layer[i], layer[rotated], shift[s]}, tt_mux3());
+      }
+      layer = std::move(next);
+    }
+    for (std::size_t i = 0; i < bits; ++i) {
+      dfg.mark_output(layer[i], "r" + std::to_string(i));
+    }
+    dfg.validate();
+    nl.context(1) = std::move(dfg);
+  }
+  // Context 2: priority encode the a-operand bits.
+  {
+    netlist::Dfg enc = priority_encoder(bits);
+    // Rename inputs req<i> -> a<i> by rebuilding.
+    netlist::Dfg dfg;
+    for (std::size_t i = 0; i < enc.num_inputs(); ++i) {
+      dfg.add_input("a" + std::to_string(i));
+    }
+    for (std::size_t i = enc.num_inputs(); i < enc.num_nodes(); ++i) {
+      const auto& n = enc.node(static_cast<netlist::NodeRef>(i));
+      dfg.add_lut(n.name, n.fanins, n.truth_table);
+    }
+    for (const auto& out : enc.outputs()) {
+      dfg.mark_output(out.node, out.name);
+    }
+    dfg.validate();
+    nl.context(2) = std::move(dfg);
+  }
+  // Context 3: popcount of the a-operand bits.
+  {
+    netlist::Dfg pc = popcount(bits);
+    netlist::Dfg dfg;
+    for (std::size_t i = 0; i < pc.num_inputs(); ++i) {
+      dfg.add_input("a" + std::to_string(i));
+    }
+    for (std::size_t i = pc.num_inputs(); i < pc.num_nodes(); ++i) {
+      const auto& n = pc.node(static_cast<netlist::NodeRef>(i));
+      dfg.add_lut(n.name, n.fanins, n.truth_table);
+    }
+    for (const auto& out : pc.outputs()) {
+      dfg.mark_output(out.node, out.name);
+    }
+    dfg.validate();
+    nl.context(3) = std::move(dfg);
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace mcfpga::workload

@@ -1,0 +1,39 @@
+// Additional datapath/control circuit generators: the wider workload suite
+// used by the flow benches and by multi-context compositions where each
+// context hosts a different functional unit (the DPGA "virtual hardware"
+// use case from the paper's introduction).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::workload {
+
+/// 1-bit-sliceable ALU over n bits: op (2 bits) selects among
+/// AND / OR / XOR / ADD (ripple).  Outputs r[i] and carry-out "alu_cout".
+netlist::Dfg alu(std::size_t bits, const std::string& prefix = "");
+
+/// Logarithmic barrel shifter: rotates `width` data bits left by the
+/// binary amount on the shift inputs.  width must be a power of two.
+netlist::Dfg barrel_rotator(std::size_t width, const std::string& prefix = "");
+
+/// Priority encoder over `width` request lines: outputs the index of the
+/// highest-numbered asserted line ("q0..") plus "valid".
+netlist::Dfg priority_encoder(std::size_t width,
+                              const std::string& prefix = "");
+
+/// Population count over `width` inputs: outputs "c0..".
+netlist::Dfg popcount(std::size_t width, const std::string& prefix = "");
+
+/// Gray-code to binary converter over `width` bits.
+netlist::Dfg gray_to_binary(std::size_t width,
+                            const std::string& prefix = "");
+
+/// A 4-context "virtual datapath": context 0 = ALU(add), 1 = rotator,
+/// 2 = priority encoder, 3 = popcount — four functional units
+/// time-multiplexed onto one fabric over shared operand inputs.
+netlist::MultiContextNetlist virtual_datapath(std::size_t bits);
+
+}  // namespace mcfpga::workload

@@ -1,0 +1,123 @@
+#include "workload/random_dfg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mcfpga::workload {
+
+namespace {
+
+using netlist::Dfg;
+using netlist::NodeRef;
+
+BitVector random_tt(Rng& rng, std::size_t arity) {
+  BitVector tt(std::size_t{1} << arity);
+  // Reject constant tables so nodes are never trivially redundant.
+  do {
+    for (std::size_t a = 0; a < tt.size(); ++a) {
+      tt.set(a, rng.next_bool());
+    }
+  } while (tt.all_equal(false) || tt.all_equal(true));
+  return tt;
+}
+
+/// Appends `count` random LUT nodes to `dfg`, drawing fanins from all
+/// existing nodes with a recency bias.
+void grow(Dfg& dfg, Rng& rng, std::size_t count, std::size_t max_arity,
+          const std::string& prefix) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pool = dfg.num_nodes();
+    const std::size_t arity = static_cast<std::size_t>(
+        rng.next_in(2, static_cast<std::int64_t>(
+                           std::min(max_arity, pool))));
+    std::set<NodeRef> fanins;
+    while (fanins.size() < arity) {
+      // Recency bias: half the draws come from the most recent quarter.
+      std::size_t idx;
+      if (rng.next_bool() && pool >= 4) {
+        idx = pool - 1 - static_cast<std::size_t>(rng.next_below(pool / 4 + 1));
+      } else {
+        idx = static_cast<std::size_t>(rng.next_below(pool));
+      }
+      fanins.insert(static_cast<NodeRef>(idx));
+    }
+    dfg.add_lut(prefix + std::to_string(i),
+                std::vector<NodeRef>(fanins.begin(), fanins.end()),
+                random_tt(rng, fanins.size()));
+  }
+}
+
+void mark_sinks_as_outputs(Dfg& dfg) {
+  std::vector<bool> used(dfg.num_nodes(), false);
+  for (const auto& n : dfg.nodes()) {
+    for (const NodeRef f : n.fanins) {
+      used[static_cast<std::size_t>(f)] = true;
+    }
+  }
+  std::size_t serial = 0;
+  for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+    if (!used[i] && dfg.node(static_cast<NodeRef>(i)).type ==
+                        netlist::NodeType::kLutOp) {
+      dfg.mark_output(static_cast<NodeRef>(i), "y" + std::to_string(serial++));
+    }
+  }
+}
+
+}  // namespace
+
+Dfg random_dfg(const RandomDfgParams& params) {
+  MCFPGA_REQUIRE(params.num_inputs >= 2, "need >= 2 inputs");
+  MCFPGA_REQUIRE(params.max_arity >= 2 && params.max_arity <= 8,
+                 "max arity in [2, 8]");
+  Rng rng(params.seed);
+  Dfg dfg;
+  for (std::size_t i = 0; i < params.num_inputs; ++i) {
+    dfg.add_input("x" + std::to_string(i));
+  }
+  grow(dfg, rng, params.num_nodes, params.max_arity, "n");
+  mark_sinks_as_outputs(dfg);
+  dfg.validate();
+  return dfg;
+}
+
+netlist::MultiContextNetlist random_multi_context(
+    const RandomMultiContextParams& params) {
+  MCFPGA_REQUIRE(params.share_fraction >= 0.0 && params.share_fraction <= 1.0,
+                 "share fraction in [0, 1]");
+  netlist::MultiContextNetlist nl(params.num_contexts);
+
+  // Context 0: fully random.
+  nl.context(0) = random_dfg(params.base);
+
+  // A topological prefix of context 0 is closed under fanins, so cloning
+  // the first `shared` LUT nodes (plus all inputs) is always legal.
+  const Dfg& base = nl.context(0);
+  const std::size_t shared = static_cast<std::size_t>(
+      params.share_fraction * static_cast<double>(params.base.num_nodes));
+
+  for (std::size_t c = 1; c < params.num_contexts; ++c) {
+    Rng rng(params.base.seed * 977 + c);
+    Dfg& dfg = nl.context(c);
+    for (std::size_t i = 0; i < params.base.num_inputs; ++i) {
+      dfg.add_input("x" + std::to_string(i));
+    }
+    // Clone the shared prefix verbatim (same names, same tables): the
+    // sharing analysis will discover these as shared classes.
+    for (std::size_t i = 0; i < shared; ++i) {
+      const auto& n = base.node(
+          static_cast<NodeRef>(params.base.num_inputs + i));
+      dfg.add_lut(n.name, n.fanins, n.truth_table);
+    }
+    grow(dfg, rng, params.base.num_nodes - shared,
+         params.base.max_arity, "c" + std::to_string(c) + "_n");
+    mark_sinks_as_outputs(dfg);
+    dfg.validate();
+  }
+  return nl;
+}
+
+}  // namespace mcfpga::workload

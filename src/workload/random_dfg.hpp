@@ -1,0 +1,33 @@
+// Random multi-context DFG generation with a controllable cross-context
+// sharing fraction — the knob the adaptive-logic-block evaluation sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::workload {
+
+struct RandomDfgParams {
+  std::size_t num_inputs = 8;
+  std::size_t num_nodes = 24;
+  std::size_t max_arity = 4;
+  std::uint64_t seed = 1;
+};
+
+/// One random combinational DFG; every sink node becomes an output.
+netlist::Dfg random_dfg(const RandomDfgParams& params);
+
+struct RandomMultiContextParams {
+  RandomDfgParams base{};
+  std::size_t num_contexts = 4;
+  /// Fraction of context-0's node prefix cloned verbatim into every other
+  /// context (these become shared classes); the rest of each context is
+  /// fresh random logic.
+  double share_fraction = 0.3;
+};
+
+netlist::MultiContextNetlist random_multi_context(
+    const RandomMultiContextParams& params);
+
+}  // namespace mcfpga::workload

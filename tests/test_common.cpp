@@ -1,0 +1,225 @@
+// Unit tests for the common substrate: BitVector, Rng, strings, Table.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitvector.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace mcfpga {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, ConstructsWithFillValue) {
+  BitVector zeros(10, false);
+  BitVector ones(10, true);
+  EXPECT_TRUE(zeros.all_equal(false));
+  EXPECT_TRUE(ones.all_equal(true));
+  EXPECT_EQ(ones.popcount(), 10u);
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVector, IndexOutOfRangeThrows) {
+  BitVector v(8);
+  EXPECT_THROW(v.get(8), InvalidArgument);
+  EXPECT_THROW(v.set(100, true), InvalidArgument);
+}
+
+TEST(BitVector, StringRoundTrip) {
+  const std::string s = "1011001";
+  BitVector v = BitVector::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  // MSB-first: leading '1' is the highest index.
+  EXPECT_TRUE(v.get(6));
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+}
+
+TEST(BitVector, FromStringRejectsNonBinary) {
+  EXPECT_THROW(BitVector::from_string("10x1"), InvalidArgument);
+}
+
+TEST(BitVector, WordRoundTrip) {
+  BitVector v = BitVector::from_word(0b1011, 4);
+  EXPECT_EQ(v.to_word(), 0b1011u);
+  EXPECT_EQ(v.to_string(), "1011");
+  // Upper bits beyond size are masked off.
+  BitVector w = BitVector::from_word(~0ull, 3);
+  EXPECT_EQ(w.to_word(), 7u);
+}
+
+TEST(BitVector, HammingDistance) {
+  BitVector a = BitVector::from_string("1100");
+  BitVector b = BitVector::from_string("1010");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+  BitVector c(5);
+  EXPECT_THROW(a.hamming_distance(c), InvalidArgument);
+}
+
+TEST(BitVector, BitwiseOps) {
+  BitVector a = BitVector::from_string("1100");
+  BitVector b = BitVector::from_string("1010");
+  BitVector x = a;
+  x ^= b;
+  EXPECT_EQ(x.to_string(), "0110");
+  BitVector y = a;
+  y &= b;
+  EXPECT_EQ(y.to_string(), "1000");
+  BitVector z = a;
+  z |= b;
+  EXPECT_EQ(z.to_string(), "1110");
+}
+
+TEST(BitVector, PushBackGrowsAcrossWords) {
+  BitVector v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i % 3 == 0);
+  }
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.popcount(), 34u);
+  EXPECT_TRUE(v.get(99));
+}
+
+TEST(BitVector, HashDistinguishesValues) {
+  BitVector a = BitVector::from_string("1100");
+  BitVector b = BitVector::from_string("1010");
+  BitVector c = BitVector::from_string("1100");
+  EXPECT_EQ(a.hash(), c.hash());
+  EXPECT_NE(a.hash(), b.hash());
+  // Size participates in the hash.
+  EXPECT_NE(BitVector(4).hash(), BitVector(5).hash());
+}
+
+TEST(BitVector, FillResetsTail) {
+  BitVector v(70);
+  v.fill(true);
+  EXPECT_EQ(v.popcount(), 70u);
+  v.fill(false);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.next_bool(0.2) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.03);
+  EXPECT_FALSE(Rng(1).next_bool(0.0));
+  EXPECT_TRUE(Rng(1).next_bool(1.0));
+}
+
+TEST(Strings, FormatHelpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.4512, 1), "45.1%");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(0), "0");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"name", "count"});
+  t.add_row({"alpha", "12"});
+  t.add_separator();
+  t.add_row({"b", "3,456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3,456"), std::string::npos);
+  EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcfpga

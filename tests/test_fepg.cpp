@@ -1,0 +1,114 @@
+// Unit tests for the ferroelectric functional pass-gate model (Fig. 15):
+// SE equivalence, non-volatility, and endurance accounting.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "config/pattern.hpp"
+#include "rcm/decoder_synth.hpp"
+#include "rcm/fepg.hpp"
+
+namespace mcfpga::rcm {
+namespace {
+
+TEST(FerroelectricCell, WriteAndRead) {
+  FerroelectricCell cell;
+  EXPECT_FALSE(cell.read());
+  cell.write(true);
+  EXPECT_TRUE(cell.read());
+  cell.write(false);
+  EXPECT_FALSE(cell.read());
+}
+
+TEST(FerroelectricCell, ReversalAccounting) {
+  FerroelectricCell cell;
+  cell.write(false);  // same value: free
+  EXPECT_EQ(cell.reversals(), 0u);
+  cell.write(true);   // reversal
+  cell.write(true);   // free
+  cell.write(false);  // reversal
+  EXPECT_EQ(cell.reversals(), 2u);
+}
+
+// Fig. 15(c) truth table: (d1,d0)=(0,0)->0, (0,1)->1, (1,-)->U.
+TEST(FePassGate, TruthTableMatchesFig15) {
+  FePassGate g00;
+  g00.program(false, false);
+  FePassGate g01;
+  g01.program(false, true);
+  FePassGate g1x;
+  g1x.program(true, false);
+  for (const bool u : {false, true}) {
+    EXPECT_FALSE(g00.eval_with_u(u));
+    EXPECT_TRUE(g01.eval_with_u(u));
+    EXPECT_EQ(g1x.eval_with_u(u), u);
+  }
+}
+
+// Exhaustive equivalence against every SE programming (the "same as an SE"
+// claim of Sec. 5).
+TEST(FePassGate, ExhaustivelyEquivalentToSwitchElement) {
+  for (const bool d1 : {false, true}) {
+    for (const bool d0 : {false, true}) {
+      for (std::size_t bit = 0; bit < 2; ++bit) {
+        for (const bool inv : {false, true}) {
+          SwitchElement se;
+          se.d1 = d1;
+          se.d0 = d0;
+          se.u = IdBitRef{bit, inv};
+          const FePassGate gate = FePassGate::from_switch_element(se);
+          EXPECT_TRUE(fepg_matches_se(gate, se, 4))
+              << "d1=" << d1 << " d0=" << d0 << " bit=" << bit
+              << " inv=" << inv;
+        }
+      }
+    }
+  }
+}
+
+TEST(FePassGate, RoundTripsThroughSwitchElement) {
+  const SwitchElement se = SwitchElement::id_bit(1, true);
+  const FePassGate gate = FePassGate::from_switch_element(se);
+  const SwitchElement back = gate.to_switch_element();
+  EXPECT_EQ(back.d1, se.d1);
+  EXPECT_EQ(back.d0, se.d0);
+  EXPECT_EQ(back.u, se.u);
+}
+
+TEST(FePassGate, StateSurvivesPowerCycle) {
+  FePassGate gate;
+  gate.program(false, true);  // constant 1
+  gate.power_cycle();
+  EXPECT_TRUE(gate.eval_with_u(false));
+  EXPECT_TRUE(gate.eval_with_u(true));
+  EXPECT_TRUE(gate.d0());
+}
+
+TEST(FePassGate, FloatingUThrowsLikeSe) {
+  FePassGate gate;
+  gate.program(true, false);  // d1=1 with no U source
+  EXPECT_THROW(gate.eval(0), ProgrammingError);
+}
+
+TEST(FePassGate, ReprogrammingCountsReversals) {
+  FePassGate gate;
+  gate.program(true, false);   // d1: 0->1 (1 reversal)
+  gate.program(false, true);   // d1: 1->0, d0: 0->1 (2 reversals)
+  gate.program(false, true);   // no change
+  EXPECT_EQ(gate.total_reversals(), 3u);
+}
+
+// A decoder network realized with FePGs context-by-context matches the
+// CMOS realization — the substitution the Sec. 5 evaluation makes.
+TEST(FePassGate, DecoderNetworkRealization) {
+  for (const char* pattern : {"1000", "0110", "0101", "1111"}) {
+    const auto p = config::ContextPattern::from_string(pattern);
+    const auto net = synthesize_decoder(p);
+    for (const auto& d : net.elements()) {
+      const FePassGate gate = FePassGate::from_switch_element(d.se);
+      EXPECT_TRUE(fepg_matches_se(gate, d.se, 4)) << pattern;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcfpga::rcm

@@ -1,0 +1,156 @@
+// Unit tests for MCMG-LUTs (Fig. 12) and adaptive logic blocks (Figs. 13-14).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "config/stats.hpp"
+#include "lut/logic_block.hpp"
+#include "lut/mcmg_lut.hpp"
+
+namespace mcfpga::lut {
+namespace {
+
+TEST(McmgLut, MemoryBudgetIsModeIndependent) {
+  McmgLut lut(4, 4);
+  EXPECT_EQ(lut.memory_bits_per_output(), 64u);  // 2^4 * 4
+  for (const auto& mode : lut.available_modes()) {
+    EXPECT_EQ((std::size_t{1} << mode.inputs) * mode.planes, 64u)
+        << mode.describe();
+  }
+}
+
+// Fig. 12: base-4, 4 contexts -> 4-in x 4 planes, 5-in x 2 planes,
+// 6-in x 1 plane.
+TEST(McmgLut, ModesMatchFig12) {
+  McmgLut lut(4, 4);
+  const auto modes = lut.available_modes();
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0], (LutMode{4, 4}));
+  EXPECT_EQ(modes[1], (LutMode{5, 2}));
+  EXPECT_EQ(modes[2], (LutMode{6, 1}));
+  EXPECT_EQ(lut.max_inputs(), 6u);
+}
+
+TEST(McmgLut, SetModeValidates) {
+  McmgLut lut(4, 4);
+  lut.set_mode(LutMode{5, 2});
+  EXPECT_EQ(lut.mode(), (LutMode{5, 2}));
+  EXPECT_EQ(lut.id_bits_used(), 1u);
+  EXPECT_THROW(lut.set_mode(LutMode{5, 3}), InvalidArgument);   // not pow2
+  EXPECT_THROW(lut.set_mode(LutMode{4, 2}), InvalidArgument);   // budget
+  EXPECT_THROW(lut.set_mode(LutMode{7, 1}), InvalidArgument);   // budget
+  EXPECT_THROW(lut.set_mode(LutMode{3, 8}), InvalidArgument);   // planes > n
+}
+
+// Fig. 12(b): in the 5-input mode only S0 selects planes: contexts 0/2 read
+// plane 0 and contexts 1/3 read plane 1.
+TEST(McmgLut, PlaneSelectionUsesLowIdBits) {
+  McmgLut lut(4, 4);
+  lut.set_mode(LutMode{5, 2});
+  EXPECT_EQ(lut.plane_for_context(0), 0u);
+  EXPECT_EQ(lut.plane_for_context(1), 1u);
+  EXPECT_EQ(lut.plane_for_context(2), 0u);
+  EXPECT_EQ(lut.plane_for_context(3), 1u);
+  lut.set_mode(LutMode{6, 1});
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(lut.plane_for_context(c), 0u);
+  }
+}
+
+TEST(McmgLut, ProgramAndEval) {
+  McmgLut lut(2, 2);  // 2-input base, 2 contexts: 8 bits per output
+  lut.set_mode(LutMode{2, 2});
+  // Plane 0: AND; plane 1: OR.
+  BitVector and_tt = BitVector::from_string("1000");
+  BitVector or_tt = BitVector::from_string("1110");
+  lut.program_plane(0, 0, and_tt);
+  lut.program_plane(0, 1, or_tt);
+  for (std::size_t a = 0; a < 4; ++a) {
+    const BitVector in = BitVector::from_word(a, 2);
+    EXPECT_EQ(lut.eval(0, in, 0), and_tt.get(a));
+    EXPECT_EQ(lut.eval(0, in, 1), or_tt.get(a));
+  }
+}
+
+TEST(McmgLut, SetModeClearsMemory) {
+  McmgLut lut(2, 2);
+  lut.program_plane(0, 0, BitVector(4, true));
+  lut.set_mode(LutMode{3, 1});
+  EXPECT_TRUE(lut.plane_memory(0, 0).all_equal(false));
+}
+
+TEST(McmgLut, MultiOutputIndependence) {
+  McmgLut lut(2, 2, 2);
+  EXPECT_EQ(lut.total_memory_bits(), 16u);
+  lut.program_plane(0, 0, BitVector(4, true));
+  EXPECT_TRUE(lut.plane_memory(0, 0).all_equal(true));
+  EXPECT_TRUE(lut.plane_memory(1, 0).all_equal(false));
+  EXPECT_THROW(lut.program_plane(2, 0, BitVector(4)), InvalidArgument);
+}
+
+TEST(McmgLut, EvalValidatesArity) {
+  McmgLut lut(4, 4);
+  lut.set_mode(LutMode{5, 2});
+  EXPECT_THROW(lut.eval(0, BitVector(4), 0), InvalidArgument);
+  EXPECT_NO_THROW(lut.eval(0, BitVector(5), 0));
+}
+
+TEST(McmgLut, ConventionalViewRows) {
+  McmgLut lut(2, 4);
+  lut.set_mode(LutMode{2, 4});
+  // Program plane c with the constant c%2 table: bit patterns across
+  // contexts alternate -> the conventional view must show "0101" per bit.
+  for (std::size_t p = 0; p < 4; ++p) {
+    lut.program_plane(0, p, BitVector(4, p % 2 == 1));
+  }
+  const auto rows = lut.conventional_view_rows("t");
+  ASSERT_EQ(rows.num_rows(), 4u);
+  for (const auto& row : rows.rows()) {
+    EXPECT_EQ(row.pattern.to_string(), "1010");  // C3..C0 = 1,0,1,0
+    EXPECT_EQ(row.kind, config::ResourceKind::kLutBit);
+  }
+}
+
+TEST(McmgLut, ConstructorValidation) {
+  EXPECT_THROW(McmgLut(0, 4), InvalidArgument);
+  EXPECT_THROW(McmgLut(9, 4), InvalidArgument);
+  EXPECT_THROW(McmgLut(4, 3), InvalidArgument);
+  EXPECT_THROW(McmgLut(4, 4, 0), InvalidArgument);
+}
+
+// --- Logic block ------------------------------------------------------------
+
+TEST(LogicBlock, GlobalControlHasNoControllerCost) {
+  LogicBlock lb(LogicBlockSpec{4, 4, 2, SizeControl::kGlobal});
+  lb.set_granularity(LutMode{4, 4});
+  EXPECT_EQ(lb.controller_se_cost(), 0u);
+}
+
+// Fig. 14 / Sec. 4: the local controller is "only required when there are
+// different configuration planes" — single-plane blocks cost nothing.
+TEST(LogicBlock, LocalControllerCostTracksPlanes) {
+  LogicBlock lb(LogicBlockSpec{4, 4, 2, SizeControl::kLocal});
+  lb.set_granularity(LutMode{6, 1});
+  EXPECT_EQ(lb.controller_se_cost(), 0u);
+  lb.set_granularity(LutMode{5, 2});
+  EXPECT_EQ(lb.controller_se_cost(), 1u);
+  lb.set_granularity(LutMode{4, 4});
+  EXPECT_EQ(lb.controller_se_cost(), 2u);
+}
+
+TEST(LogicBlock, EvalDelegatesToLut) {
+  LogicBlock lb(LogicBlockSpec{2, 2, 1, SizeControl::kLocal});
+  lb.set_granularity(LutMode{2, 2});
+  lb.lut().program_plane(0, 0, BitVector::from_string("0110"));  // XOR
+  lb.lut().program_plane(0, 1, BitVector::from_string("1000"));  // AND
+  const BitVector in = BitVector::from_string("11");
+  EXPECT_FALSE(lb.eval(0, in, 0));  // XOR(1,1) = 0
+  EXPECT_TRUE(lb.eval(0, in, 1));   // AND(1,1) = 1
+}
+
+TEST(LogicBlock, FlipFlopCountMatchesOutputs) {
+  LogicBlock lb(LogicBlockSpec{4, 4, 2, SizeControl::kLocal});
+  EXPECT_EQ(lb.num_flip_flops(), 2u);
+}
+
+}  // namespace
+}  // namespace mcfpga::lut

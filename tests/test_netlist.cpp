@@ -1,0 +1,188 @@
+// Unit tests for multi-context DFGs, reference evaluation, sharing
+// analysis (Fig. 14a) and DOT export.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/dfg.hpp"
+#include "netlist/dot.hpp"
+#include "netlist/eval.hpp"
+#include "netlist/sharing.hpp"
+
+namespace mcfpga::netlist {
+namespace {
+
+BitVector tt_and() { return BitVector::from_string("1000"); }
+BitVector tt_or() { return BitVector::from_string("1110"); }
+BitVector tt_xor() { return BitVector::from_string("0110"); }
+
+Dfg tiny_dfg() {
+  Dfg dfg;
+  const NodeRef a = dfg.add_input("a");
+  const NodeRef b = dfg.add_input("b");
+  const NodeRef c = dfg.add_input("c");
+  const NodeRef x = dfg.add_lut("x", {a, b}, tt_and());
+  const NodeRef y = dfg.add_lut("y", {x, c}, tt_or());
+  dfg.mark_output(y, "out");
+  return dfg;
+}
+
+TEST(Dfg, ConstructionAndAccessors) {
+  const Dfg dfg = tiny_dfg();
+  EXPECT_EQ(dfg.num_nodes(), 5u);
+  EXPECT_EQ(dfg.num_inputs(), 3u);
+  EXPECT_EQ(dfg.num_lut_ops(), 2u);
+  EXPECT_EQ(dfg.max_arity(), 2u);
+  EXPECT_EQ(dfg.depth(), 2u);
+  EXPECT_EQ(dfg.outputs().size(), 1u);
+  EXPECT_NO_THROW(dfg.validate());
+}
+
+TEST(Dfg, RejectsForwardReferences) {
+  Dfg dfg;
+  dfg.add_input("a");
+  EXPECT_THROW(dfg.add_lut("bad", {5}, BitVector(2)), InvalidArgument);
+}
+
+TEST(Dfg, RejectsWrongTruthTableSize) {
+  Dfg dfg;
+  const NodeRef a = dfg.add_input("a");
+  const NodeRef b = dfg.add_input("b");
+  EXPECT_THROW(dfg.add_lut("bad", {a, b}, BitVector(8)), InvalidArgument);
+}
+
+TEST(Dfg, RejectsInputAfterLut) {
+  Dfg dfg;
+  const NodeRef a = dfg.add_input("a");
+  BitVector buf(2);
+  buf.set(1, true);
+  dfg.add_lut("n", {a}, buf);
+  EXPECT_THROW(dfg.add_input("late"), InvalidArgument);
+}
+
+TEST(Dfg, ValidateCatchesDuplicateNames) {
+  Dfg dfg;
+  dfg.add_input("a");
+  dfg.add_input("a");
+  EXPECT_THROW(dfg.validate(), InvalidArgument);
+}
+
+TEST(Eval, ComputesExpectedValues) {
+  const Dfg dfg = tiny_dfg();
+  // out = (a AND b) OR c.
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool a = mask & 1;
+    const bool b = mask & 2;
+    const bool c = mask & 4;
+    const auto out =
+        evaluate(dfg, ValueMap{{"a", a}, {"b", b}, {"c", c}});
+    EXPECT_EQ(out.at("out"), (a && b) || c) << mask;
+  }
+}
+
+TEST(Eval, MissingInputsDefaultToZero) {
+  const Dfg dfg = tiny_dfg();
+  const auto out = evaluate(dfg, ValueMap{{"c", true}});
+  EXPECT_TRUE(out.at("out"));
+  const auto out2 = evaluate(dfg, {});
+  EXPECT_FALSE(out2.at("out"));
+}
+
+TEST(Eval, EvaluateNode) {
+  const Dfg dfg = tiny_dfg();
+  EXPECT_TRUE(
+      evaluate_node(dfg, 3, ValueMap{{"a", true}, {"b", true}}));  // x
+  EXPECT_THROW(evaluate_node(dfg, 99, {}), InvalidArgument);
+}
+
+TEST(MultiContext, InputAndOutputNameUnion) {
+  MultiContextNetlist nl(2);
+  nl.context(0) = tiny_dfg();
+  Dfg other;
+  const NodeRef d = other.add_input("d");
+  const NodeRef a = other.add_input("a");
+  other.mark_output(other.add_lut("z", {d, a}, tt_xor()), "zout");
+  nl.context(1) = std::move(other);
+
+  const auto inputs = nl.all_input_names();
+  EXPECT_EQ(inputs.size(), 4u);  // a, b, c, d
+  const auto outputs = nl.all_output_names();
+  EXPECT_EQ(outputs.size(), 2u);  // out, zout
+  EXPECT_EQ(nl.total_lut_ops(), 3u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Sharing, IdenticalNodesAcrossContextsMerge) {
+  MultiContextNetlist nl(2);
+  nl.context(0) = tiny_dfg();
+  nl.context(1) = tiny_dfg();  // structurally identical
+  const auto sharing = analyze_sharing(nl);
+  // Every LUT class is shared between the two contexts.
+  EXPECT_EQ(sharing.shared_lut_classes(), 2u);
+  EXPECT_EQ(sharing.merged_lut_ops(), 2u);
+  // x in both contexts maps to the same class id.
+  EXPECT_EQ(sharing.class_of[0][3], sharing.class_of[1][3]);
+}
+
+TEST(Sharing, DifferentFunctionsDoNotMerge) {
+  MultiContextNetlist nl(2);
+  nl.context(0) = tiny_dfg();
+  Dfg other;
+  const NodeRef a = other.add_input("a");
+  const NodeRef b = other.add_input("b");
+  const NodeRef c = other.add_input("c");
+  const NodeRef x = other.add_lut("x", {a, b}, tt_xor());  // different fn
+  other.mark_output(other.add_lut("y", {x, c}, tt_or()), "out");
+  nl.context(1) = std::move(other);
+  const auto sharing = analyze_sharing(nl);
+  EXPECT_EQ(sharing.shared_lut_classes(), 0u);
+}
+
+TEST(Sharing, InputsShareByName) {
+  MultiContextNetlist nl(2);
+  Dfg d0;
+  d0.add_input("a");
+  nl.context(0) = std::move(d0);
+  Dfg d1;
+  d1.add_input("a");
+  nl.context(1) = std::move(d1);
+  const auto sharing = analyze_sharing(nl);
+  EXPECT_EQ(sharing.class_of[0][0], sharing.class_of[1][0]);
+}
+
+TEST(Sharing, WithinContextHashConsing) {
+  MultiContextNetlist nl(1);
+  Dfg dfg;
+  const NodeRef a = dfg.add_input("a");
+  const NodeRef b = dfg.add_input("b");
+  const NodeRef x1 = dfg.add_lut("x1", {a, b}, tt_and());
+  const NodeRef x2 = dfg.add_lut("x2", {a, b}, tt_and());  // duplicate
+  dfg.mark_output(x1, "o1");
+  dfg.mark_output(x2, "o2");
+  nl.context(0) = std::move(dfg);
+  const auto sharing = analyze_sharing(nl);
+  EXPECT_EQ(sharing.class_of[0][2], sharing.class_of[0][3]);
+  // One member per (class, context) even with duplicates inside a context.
+  const std::size_t cls = sharing.class_of[0][2];
+  EXPECT_EQ(sharing.classes[cls].members.size(), 1u);
+}
+
+TEST(Dot, SingleContextExport) {
+  const std::string dot = to_dot(tiny_dfg(), "g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(dot.find("triangle"), std::string::npos);  // inputs
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, MergedExportMarksSharedNodes) {
+  MultiContextNetlist nl(2);
+  nl.context(0) = tiny_dfg();
+  nl.context(1) = tiny_dfg();
+  const auto sharing = analyze_sharing(nl);
+  const std::string dot = to_dot_merged(nl, sharing);
+  EXPECT_NE(dot.find("cluster_ctx0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_ctx1"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcfpga::netlist

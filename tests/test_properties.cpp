@@ -1,0 +1,215 @@
+// Property-based / parameterized sweeps over the core invariants:
+//   P1. Decoder synthesis is exact for random patterns at any context count.
+//   P2. The RCM context decoder always reproduces generated bitstreams.
+//   P3. Decoder cost is monotone in pattern class (constant <= single < complex).
+//   P4. Plane allocation never double-claims planes and covers every class.
+//   P5. The full flow verifies end-to-end across workload seeds.
+//   P6. Area ratio responds monotonically to the change-rate knob.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "config/stats.hpp"
+#include "core/mcfpga.hpp"
+#include "mapping/context_merge.hpp"
+#include "mapping/plane_alloc.hpp"
+#include "rcm/context_decoder.hpp"
+#include "rcm/decoder_synth.hpp"
+#include "workload/bitstream_gen.hpp"
+#include "workload/random_dfg.hpp"
+
+namespace mcfpga {
+namespace {
+
+// --- P1/P3: decoder synthesis over random patterns, all context counts ----
+
+class DecoderProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(DecoderProperty, SynthesisIsExactAndBounded) {
+  const auto [num_contexts, seed] = GetParam();
+  Rng rng(seed);
+  const std::size_t k = config::num_id_bits(num_contexts);
+  for (int trial = 0; trial < 50; ++trial) {
+    config::ContextPattern p(num_contexts);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      p.set_value(c, rng.next_bool());
+    }
+    const auto net = rcm::synthesize_decoder(p);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      ASSERT_EQ(net.eval(c), p.value_in(c))
+          << p.to_string() << " ctx " << c;
+    }
+    // Cost bound: full Shannon tree has 2^(k-1) leaf pairs; with folding it
+    // never exceeds 2^k - 1 + 2*(2^(k-1) - ... ) ; use the loose bound
+    // 3 * 2^(k-1) + ... = simply < 2^(k+1).
+    EXPECT_LT(net.se_count(), std::size_t{1} << (k + 1)) << p.to_string();
+    EXPECT_LE(net.depth(), k);
+    // Classification consistency (P3).
+    const auto info = config::classify(p);
+    if (info.cls != config::PatternClass::kComplex) {
+      EXPECT_EQ(net.se_count(), 1u);
+    } else {
+      EXPECT_GE(net.se_count(), 3u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContextCounts, DecoderProperty,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- P2: context decoder over generated bitstreams -------------------------
+
+class BitstreamDecoderProperty
+    : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(BitstreamDecoderProperty, DecoderMatchesBitstream) {
+  const auto [change_rate, share] = GetParam();
+  workload::BitstreamGenParams params;
+  params.rows = 400;
+  params.change_rate = change_rate;
+  params.regularity_fraction = 0.1;
+  params.seed = static_cast<std::uint64_t>(change_rate * 1000) + 1;
+  const auto bs = workload::generate_bitstream(params);
+  const rcm::ContextDecoder decoder(
+      bs, rcm::ContextDecoderOptions{.share_identical_patterns = share});
+  EXPECT_TRUE(decoder.matches(bs));
+  // Sharing only ever reduces the network count.
+  if (share) {
+    EXPECT_LE(decoder.num_networks(), bs.num_rows());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChangeRates, BitstreamDecoderProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.03, 0.05, 0.2, 0.5),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "rate" +
+             std::to_string(
+                 static_cast<int>(std::get<0>(info.param) * 100)) +
+             (std::get<1>(info.param) ? "_shared" : "_flat");
+    });
+
+// --- P4: plane allocation invariants ---------------------------------------
+
+class PlaneAllocProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(PlaneAllocProperty, NoPlaneDoubleClaimAndFullCoverage) {
+  const auto [seed, local] = GetParam();
+  Rng rng(seed);
+  std::vector<mapping::ClassUse> uses;
+  const std::size_t count = 5 + rng.next_below(25);
+  for (std::size_t i = 0; i < count; ++i) {
+    mapping::ClassUse use;
+    use.cls = i;
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (rng.next_bool(0.4)) {
+        use.contexts.push_back(c);
+      }
+    }
+    if (use.contexts.empty()) {
+      use.contexts.push_back(rng.next_below(4));
+    }
+    use.arity = 2 + rng.next_below(5);  // 2..6
+    use.truth_table = BitVector(std::size_t{1} << use.arity);
+    for (std::size_t f = 0; f < use.arity; ++f) {
+      use.fanin_classes.push_back(500 + i * 8 + f);
+    }
+    uses.push_back(std::move(use));
+  }
+  const auto alloc = mapping::allocate_planes(
+      uses, 4, 4,
+      local ? lut::SizeControl::kLocal : lut::SizeControl::kGlobal);
+
+  EXPECT_EQ(alloc.slot_of_class.size(), count);
+  std::size_t total_entries = 0;
+  for (const auto& slot : alloc.slots) {
+    total_entries += slot.entries.size();
+    std::vector<bool> claimed(slot.mode.planes, false);
+    for (const auto& e : slot.entries) {
+      EXPECT_LE(e.use.arity, slot.mode.inputs);
+      // Context -> plane mapping is consistent with the recorded planes.
+      for (const std::size_t c : e.use.contexts) {
+        const std::size_t p = c & (slot.mode.planes - 1);
+        EXPECT_NE(std::find(e.planes.begin(), e.planes.end(), p),
+                  e.planes.end());
+      }
+      for (const std::size_t p : e.planes) {
+        EXPECT_FALSE(claimed[p]) << "plane double-claimed";
+        claimed[p] = true;
+      }
+    }
+    // Used bits tally.
+    std::size_t used = 0;
+    for (const auto& e : slot.entries) {
+      used += e.planes.size() * (std::size_t{1} << slot.mode.inputs);
+    }
+    EXPECT_EQ(used, slot.used_bits);
+  }
+  EXPECT_EQ(total_entries, count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PlaneAllocProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_local" : "_global");
+    });
+
+// --- P5: end-to-end flow across workload seeds ------------------------------
+
+class FlowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowProperty, RandomWorkloadVerifiesEndToEnd) {
+  workload::RandomMultiContextParams params;
+  params.base.num_inputs = 5;
+  params.base.num_nodes = 10;
+  params.base.max_arity = 4;
+  params.base.seed = GetParam();
+  params.share_fraction = 0.3;
+  arch::FabricSpec spec;
+  spec.width = 4;
+  spec.height = 4;
+  spec.channel_width = 8;
+  const core::MCFPGA chip(workload::random_multi_context(params), spec);
+  EXPECT_EQ(chip.verify(12, GetParam() + 100), 0u);
+  // The proposed implementation of the compiled bitstream is always
+  // cheaper than the conventional one.
+  EXPECT_LT(chip.area_report().ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowProperty,
+                         ::testing::Values(31u, 32u, 33u, 34u));
+
+// --- P6: area-ratio monotonicity ---------------------------------------------
+
+TEST(AreaRatioProperty, MonotoneInChangeRate) {
+  const area::AreaModel model;
+  arch::FabricSpec spec;
+  double prev = 0.0;
+  for (const double rate : {0.0, 0.02, 0.05, 0.15, 0.4}) {
+    workload::BitstreamGenParams params;
+    params.rows = 3000;
+    params.change_rate = rate;
+    params.seed = 55;
+    const auto blocks = workload::generate_blocks(params, 250);
+    const double ratio = model.compare_fabric(spec, blocks, {}).ratio();
+    EXPECT_GE(ratio, prev) << rate;
+    prev = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace mcfpga

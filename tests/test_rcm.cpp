@@ -1,0 +1,256 @@
+// Unit tests for the RCM core: switch elements (Fig. 8), decoder synthesis
+// (Fig. 9), the SE grid (Fig. 7) and the context decoder, including the
+// exhaustive 16-pattern sweep for 4 contexts.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "config/stats.hpp"
+#include "rcm/context_decoder.hpp"
+#include "rcm/decoder_synth.hpp"
+#include "rcm/grid.hpp"
+#include "rcm/switch_element.hpp"
+
+namespace mcfpga::rcm {
+namespace {
+
+using config::ContextPattern;
+using config::PatternClass;
+
+// Fig. 8 / Fig. 15 truth table: (d1,d0) = (0,0) -> 0; (0,1) -> 1;
+// (1,*) -> U.
+TEST(SwitchElement, TruthTableMatchesFig8) {
+  SwitchElement c0 = SwitchElement::constant(false);
+  SwitchElement c1 = SwitchElement::constant(true);
+  for (const bool u : {false, true}) {
+    EXPECT_FALSE(c0.eval_with_u(u));
+    EXPECT_TRUE(c1.eval_with_u(u));
+  }
+  SwitchElement var = SwitchElement::id_bit(0, false);
+  EXPECT_FALSE(var.eval_with_u(false));
+  EXPECT_TRUE(var.eval_with_u(true));
+}
+
+TEST(SwitchElement, IdBitEvaluation) {
+  const SwitchElement s1 = SwitchElement::id_bit(1, false);
+  // S1 = 0,0,1,1 over contexts 0..3 (Table 2).
+  EXPECT_FALSE(s1.eval(0));
+  EXPECT_FALSE(s1.eval(1));
+  EXPECT_TRUE(s1.eval(2));
+  EXPECT_TRUE(s1.eval(3));
+
+  const SwitchElement ns0 = SwitchElement::id_bit(0, true);
+  EXPECT_TRUE(ns0.eval(0));
+  EXPECT_FALSE(ns0.eval(1));
+}
+
+TEST(SwitchElement, InputControllerOnlyForInvertedU) {
+  EXPECT_FALSE(SwitchElement::constant(true).uses_input_controller());
+  EXPECT_FALSE(SwitchElement::id_bit(0, false).uses_input_controller());
+  EXPECT_TRUE(SwitchElement::id_bit(0, true).uses_input_controller());
+}
+
+TEST(SwitchElement, FloatingUWithD1Throws) {
+  SwitchElement se;
+  se.d1 = true;  // no U source
+  EXPECT_THROW(se.eval(0), ProgrammingError);
+}
+
+TEST(SwitchElement, Describe) {
+  EXPECT_EQ(SwitchElement::constant(false).describe(), "G=0");
+  EXPECT_EQ(SwitchElement::constant(true).describe(), "G=1");
+  EXPECT_EQ(SwitchElement::id_bit(1, true).describe(), "G=~S1");
+}
+
+// --- Decoder synthesis ----------------------------------------------------
+
+TEST(DecoderSynth, ConstantCostsOneSe) {
+  for (const char* p : {"0000", "1111"}) {
+    const auto net = synthesize_decoder(ContextPattern::from_string(p));
+    EXPECT_EQ(net.se_count(), 1u) << p;
+    EXPECT_EQ(net.depth(), 0u) << p;
+    EXPECT_EQ(net.input_controller_count(), 0u) << p;
+  }
+}
+
+TEST(DecoderSynth, SingleBitCostsOneSe) {
+  for (const char* p : {"1010", "0101", "1100", "0011"}) {
+    const auto net = synthesize_decoder(ContextPattern::from_string(p));
+    EXPECT_EQ(net.se_count(), 1u) << p;
+    EXPECT_EQ(net.depth(), 0u) << p;
+  }
+}
+
+// Fig. 9: the pattern (C3,C2,C1,C0) = (1,0,0,0) takes four SEs.
+TEST(DecoderSynth, Fig9PatternCostsFourSes) {
+  const auto net = synthesize_decoder(ContextPattern::from_string("1000"));
+  EXPECT_EQ(net.se_count(), 4u);
+  EXPECT_EQ(net.depth(), 1u);
+}
+
+// Exhaustive: every 4-context pattern decodes correctly in every context.
+TEST(DecoderSynth, ExhaustiveFourContextCorrectness) {
+  for (const auto& p : config::all_patterns(4)) {
+    const auto net = synthesize_decoder(p);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(net.eval(c), p.value_in(c)) << p.to_string() << " ctx " << c;
+    }
+  }
+}
+
+// Exhaustive cost taxonomy for 4 contexts: constants & single-bit cost 1;
+// every complex pattern costs exactly 4 (two leaf drivers + a gate pair).
+TEST(DecoderSynth, ExhaustiveFourContextCosts) {
+  for (const auto& p : config::all_patterns(4)) {
+    const auto info = config::classify(p);
+    const std::size_t cost = decoder_se_cost(p);
+    if (info.cls == PatternClass::kComplex) {
+      EXPECT_EQ(cost, 4u) << p.to_string();
+    } else {
+      EXPECT_EQ(cost, 1u) << p.to_string();
+    }
+    EXPECT_EQ(synthesize_decoder(p).se_count(), cost) << p.to_string();
+  }
+}
+
+// 8 contexts: correctness over all 256 patterns, and cost never exceeds
+// the full Shannon tree bound.
+TEST(DecoderSynth, ExhaustiveEightContext) {
+  for (const auto& p : config::all_patterns(8)) {
+    const auto net = synthesize_decoder(p);
+    for (std::size_t c = 0; c < 8; ++c) {
+      ASSERT_EQ(net.eval(c), p.value_in(c)) << p.to_string() << " ctx " << c;
+    }
+    // Full 3-level tree: 4 leaves + 3 gate pairs = 10; our synthesis folds
+    // single-bit cofactors, so 10 is a hard ceiling.
+    EXPECT_LE(net.se_count(), 10u) << p.to_string();
+  }
+}
+
+TEST(DecoderSynth, CostSkipsIndependentBits) {
+  // Over 8 contexts, the S0 pattern is still one SE even though two other
+  // ID bits exist.
+  const auto p = ContextPattern::for_id_bit(8, 0, false);
+  EXPECT_EQ(decoder_se_cost(p), 1u);
+  // A pattern depending on S1 and S2 but not S0 costs 4, not 10.
+  // value = S2 AND S1 -> contexts 6,7 on.
+  ContextPattern q(8);
+  q.set_value(6, true);
+  q.set_value(7, true);
+  EXPECT_EQ(decoder_se_cost(q), 4u);
+}
+
+TEST(DecoderSynth, TwoContexts) {
+  // 2 contexts: all four patterns cost one SE (0,1 constants; S0, ~S0).
+  for (const auto& p : config::all_patterns(2)) {
+    EXPECT_EQ(decoder_se_cost(p), 1u) << p.to_string();
+    const auto net = synthesize_decoder(p);
+    EXPECT_EQ(net.eval(0), p.value_in(0));
+    EXPECT_EQ(net.eval(1), p.value_in(1));
+  }
+}
+
+TEST(DecoderSynth, DescribeMentionsStructure) {
+  const auto net = synthesize_decoder(ContextPattern::from_string("1000"));
+  const std::string desc = net.describe();
+  EXPECT_NE(desc.find("4 SEs"), std::string::npos);
+  EXPECT_NE(desc.find("gates"), std::string::npos);
+}
+
+// --- RCM grid ---------------------------------------------------------------
+
+TEST(RcmGrid, CapacityAccounting) {
+  RcmGrid grid(GridSpec{4, 4, 0, 0});
+  EXPECT_EQ(grid.se_capacity(), 16u);
+  EXPECT_EQ(grid.se_free(), 16u);
+  const auto net = synthesize_decoder(ContextPattern::from_string("1000"));
+  const std::size_t id = grid.place(net, "g0");
+  EXPECT_EQ(grid.se_used(), 4u);
+  EXPECT_EQ(grid.instance_sites(id).size(), 4u);
+  EXPECT_EQ(grid.instance_name(id), "g0");
+  EXPECT_NEAR(grid.utilization(), 0.25, 1e-9);
+}
+
+TEST(RcmGrid, PlacementOverflowThrows) {
+  RcmGrid grid(GridSpec{1, 2, 0, 0});  // 2 SE sites
+  const auto complex_net =
+      synthesize_decoder(ContextPattern::from_string("1000"));
+  EXPECT_THROW(grid.place(complex_net, "too-big"), FlowError);
+  // A pair of 1-SE decoders fits exactly.
+  grid.place(synthesize_decoder(ContextPattern::from_string("0101")), "a");
+  grid.place(synthesize_decoder(ContextPattern::from_string("1111")), "b");
+  EXPECT_EQ(grid.se_free(), 0u);
+  EXPECT_THROW(
+      grid.place(synthesize_decoder(ContextPattern::from_string("1111")),
+                 "c"),
+      FlowError);
+}
+
+TEST(RcmGrid, InstanceOutputsMatchPatterns) {
+  RcmGrid grid(GridSpec{8, 8, 0, 0});
+  const auto p = ContextPattern::from_string("0110");
+  const std::size_t id = grid.place(synthesize_decoder(p), "x");
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(grid.instance_output(id, c), p.value_in(c));
+  }
+}
+
+TEST(RcmGrid, RejectsZeroSize) {
+  EXPECT_THROW(RcmGrid(GridSpec{0, 4, 0, 0}), InvalidArgument);
+}
+
+// --- Context decoder ----------------------------------------------------------
+
+TEST(ContextDecoder, MatchesBitstreamExactly) {
+  const auto bs = config::paper_table1_example();
+  const ContextDecoder dec(bs);
+  EXPECT_TRUE(dec.matches(bs));
+  EXPECT_EQ(dec.num_rows(), bs.num_rows());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(dec.decode_plane(c), bs.plane(c));
+  }
+}
+
+TEST(ContextDecoder, SharingCollapsesIdenticalRows) {
+  const auto bs = config::paper_table1_example();  // G2 == G4
+  const ContextDecoder no_share(bs, {.share_identical_patterns = false});
+  const ContextDecoder share(bs, {.share_identical_patterns = true});
+  EXPECT_EQ(no_share.num_networks(), 5u);
+  EXPECT_EQ(share.num_networks(), 4u);
+  EXPECT_EQ(share.shared_row_taps(), 1u);
+  EXPECT_LT(share.total_se_count(), no_share.total_se_count());
+  // Sharing must not change function.
+  EXPECT_TRUE(share.matches(bs));
+}
+
+TEST(ContextDecoder, ResourceTotals) {
+  config::Bitstream bs(4);
+  bs.add_row("c", config::ResourceKind::kRoutingSwitch,
+             ContextPattern::from_string("0000"));  // 1 SE
+  bs.add_row("s", config::ResourceKind::kRoutingSwitch,
+             ContextPattern::from_string("0101"));  // 1 SE, 1 controller
+  bs.add_row("x", config::ResourceKind::kRoutingSwitch,
+             ContextPattern::from_string("1000"));  // 4 SEs
+  const ContextDecoder dec(bs);
+  EXPECT_EQ(dec.total_se_count(), 6u);
+  EXPECT_GE(dec.total_input_controllers(), 1u);
+  EXPECT_GT(dec.total_programmable_switches(), 0u);
+  EXPECT_EQ(dec.max_depth(), 1u);
+}
+
+TEST(ContextDecoder, MatchesRejectsDifferentBitstream) {
+  const auto bs = config::paper_table1_example();
+  const ContextDecoder dec(bs);
+  config::Bitstream other(4);
+  other.add_row("z", config::ResourceKind::kRoutingSwitch,
+                ContextPattern::from_string("1111"));
+  EXPECT_FALSE(dec.matches(other));
+}
+
+TEST(ContextDecoder, OutputRangeChecks) {
+  const ContextDecoder dec(config::paper_table1_example());
+  EXPECT_THROW(dec.output(99, 0), InvalidArgument);
+  EXPECT_THROW(dec.output(0, 7), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcfpga::rcm

@@ -1,0 +1,116 @@
+// Unit tests for bitstream text serialization: round trips, format
+// stability, and malformed-input rejection with line numbers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "config/serialize.hpp"
+#include "config/stats.hpp"
+#include "workload/bitstream_gen.hpp"
+
+namespace mcfpga::config {
+namespace {
+
+TEST(Serialize, RoundTripsPaperExample) {
+  const Bitstream original = paper_table1_example();
+  const Bitstream parsed = from_text(to_text(original));
+  ASSERT_EQ(parsed.num_rows(), original.num_rows());
+  EXPECT_EQ(parsed.num_contexts(), original.num_contexts());
+  for (std::size_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(parsed.row(r).name, original.row(r).name);
+    EXPECT_EQ(parsed.row(r).kind, original.row(r).kind);
+    EXPECT_EQ(parsed.row(r).pattern, original.row(r).pattern);
+  }
+}
+
+TEST(Serialize, RoundTripsLargeGeneratedStream) {
+  workload::BitstreamGenParams params;
+  params.rows = 2000;
+  params.num_contexts = 8;
+  params.change_rate = 0.07;
+  params.seed = 17;
+  const Bitstream original = workload::generate_bitstream(params);
+  const Bitstream parsed = from_text(to_text(original));
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(parsed.plane(c), original.plane(c));
+  }
+}
+
+TEST(Serialize, FormatIsStable) {
+  Bitstream bs(4);
+  bs.add_row("sw0", ResourceKind::kRoutingSwitch,
+             ContextPattern::from_string("0101"));
+  const std::string text = to_text(bs);
+  EXPECT_EQ(text,
+            "mcfpga-bitstream v1\n"
+            "contexts 4\n"
+            "rows 1\n"
+            "sw0 routing-switch 0101\n");
+}
+
+TEST(Serialize, EmptyBitstream) {
+  const Bitstream parsed = from_text(to_text(Bitstream(4)));
+  EXPECT_EQ(parsed.num_rows(), 0u);
+  EXPECT_EQ(parsed.num_contexts(), 4u);
+}
+
+TEST(Serialize, AllResourceKindsSurvive) {
+  Bitstream bs(2);
+  bs.add_row("a", ResourceKind::kRoutingSwitch, ContextPattern(2, false));
+  bs.add_row("b", ResourceKind::kLutBit, ContextPattern(2, true));
+  bs.add_row("c", ResourceKind::kControlBit, ContextPattern(2, false));
+  const Bitstream parsed = from_text(to_text(bs));
+  EXPECT_EQ(parsed.row(0).kind, ResourceKind::kRoutingSwitch);
+  EXPECT_EQ(parsed.row(1).kind, ResourceKind::kLutBit);
+  EXPECT_EQ(parsed.row(2).kind, ResourceKind::kControlBit);
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_THROW(from_text("garbage\n"), InvalidArgument);
+  EXPECT_THROW(from_text(""), InvalidArgument);
+}
+
+TEST(Serialize, RejectsBadContextCount) {
+  EXPECT_THROW(from_text("mcfpga-bitstream v1\ncontexts 3\nrows 0\n"),
+               InvalidArgument);
+  EXPECT_THROW(from_text("mcfpga-bitstream v1\ncontexts x\nrows 0\n"),
+               InvalidArgument);
+}
+
+TEST(Serialize, RejectsTruncatedRows) {
+  EXPECT_THROW(from_text("mcfpga-bitstream v1\ncontexts 4\nrows 2\n"
+                         "a routing-switch 0101\n"),
+               InvalidArgument);
+}
+
+TEST(Serialize, RejectsWrongPatternWidth) {
+  EXPECT_THROW(from_text("mcfpga-bitstream v1\ncontexts 4\nrows 1\n"
+                         "a routing-switch 01\n"),
+               InvalidArgument);
+}
+
+TEST(Serialize, RejectsUnknownKind) {
+  EXPECT_THROW(from_text("mcfpga-bitstream v1\ncontexts 4\nrows 1\n"
+                         "a mystery-bit 0101\n"),
+               InvalidArgument);
+}
+
+TEST(Serialize, RejectsNonBinaryPattern) {
+  EXPECT_THROW(from_text("mcfpga-bitstream v1\ncontexts 4\nrows 1\n"
+                         "a lut-bit 01x1\n"),
+               InvalidArgument);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    from_text("mcfpga-bitstream v1\ncontexts 4\nrows 1\na lut-bit 01\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace mcfpga::config

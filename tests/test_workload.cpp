@@ -1,0 +1,235 @@
+// Unit tests for the workload generators: structured circuits, random
+// DFGs, and synthetic bitstreams.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "config/stats.hpp"
+#include "netlist/eval.hpp"
+#include "netlist/sharing.hpp"
+#include "workload/bitstream_gen.hpp"
+#include "workload/circuits.hpp"
+#include "workload/random_dfg.hpp"
+
+namespace mcfpga::workload {
+namespace {
+
+using netlist::ValueMap;
+
+ValueMap number_inputs(const std::string& prefix, std::uint64_t value,
+                       std::size_t bits) {
+  ValueMap in;
+  for (std::size_t i = 0; i < bits; ++i) {
+    in[prefix + std::to_string(i)] = (value >> i) & 1;
+  }
+  return in;
+}
+
+std::uint64_t read_number(const ValueMap& out, const std::string& prefix,
+                          std::size_t bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const auto it = out.find(prefix + std::to_string(i));
+    if (it != out.end() && it->second) {
+      v |= std::uint64_t{1} << i;
+    }
+  }
+  return v;
+}
+
+TEST(Circuits, RippleCarryAdderIsCorrect) {
+  const auto dfg = ripple_carry_adder(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; b += 3) {
+      for (const bool cin : {false, true}) {
+        ValueMap in = number_inputs("a", a, 4);
+        const ValueMap bb = number_inputs("b", b, 4);
+        in.insert(bb.begin(), bb.end());
+        in["cin"] = cin;
+        const auto out = netlist::evaluate(dfg, in);
+        const std::uint64_t sum = read_number(out, "s", 4) |
+                                  (out.at("cout") ? 16u : 0u);
+        EXPECT_EQ(sum, a + b + (cin ? 1 : 0)) << a << "+" << b;
+      }
+    }
+  }
+}
+
+TEST(Circuits, ParityTreeIsCorrect) {
+  const auto dfg = parity_tree(7);
+  for (std::uint64_t v = 0; v < 128; v += 5) {
+    const auto out = netlist::evaluate(dfg, number_inputs("x", v, 7));
+    EXPECT_EQ(out.at("parity"), __builtin_popcountll(v) % 2 == 1) << v;
+  }
+}
+
+TEST(Circuits, ComparatorIsCorrect) {
+  const auto dfg = comparator(4);
+  for (std::uint64_t a = 0; a < 16; a += 2) {
+    for (std::uint64_t b = 0; b < 16; b += 3) {
+      ValueMap in = number_inputs("a", a, 4);
+      const ValueMap bb = number_inputs("b", b, 4);
+      in.insert(bb.begin(), bb.end());
+      EXPECT_EQ(netlist::evaluate(dfg, in).at("eq"), a == b);
+    }
+  }
+}
+
+TEST(Circuits, ArrayMultiplierIsCorrect) {
+  const auto dfg = array_multiplier(3);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      ValueMap in = number_inputs("a", a, 3);
+      const ValueMap bb = number_inputs("b", b, 3);
+      in.insert(bb.begin(), bb.end());
+      const auto out = netlist::evaluate(dfg, in);
+      EXPECT_EQ(read_number(out, "p", 6), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Circuits, CrcStepMatchesReference) {
+  // CRC-4 with polynomial x^4 + x + 1 (taps at bit 1).
+  const std::uint64_t poly = 0b0010;
+  const auto dfg = crc_step(4, poly);
+  for (std::uint64_t state = 0; state < 16; ++state) {
+    for (const bool din : {false, true}) {
+      ValueMap in = number_inputs("s", state, 4);
+      in["din"] = din;
+      const auto out = netlist::evaluate(dfg, in);
+      // Reference LFSR step.
+      const bool fb = ((state >> 3) & 1) != static_cast<std::uint64_t>(din);
+      std::uint64_t next = ((state << 1) & 0xF);
+      if (fb) {
+        next ^= poly | 1;  // feedback into bit 0 and tapped bits
+      }
+      EXPECT_EQ(read_number(out, "n", 4), next) << state << "," << din;
+    }
+  }
+}
+
+TEST(Circuits, MuxTreeIsCorrect) {
+  const auto dfg = mux_tree(3);
+  for (std::uint64_t sel = 0; sel < 8; ++sel) {
+    ValueMap in = number_inputs("sel", sel, 3);
+    for (std::uint64_t d = 0; d < 8; ++d) {
+      in["d" + std::to_string(d)] = false;
+    }
+    in["d" + std::to_string(sel)] = true;
+    EXPECT_TRUE(netlist::evaluate(dfg, in).at("out")) << sel;
+  }
+}
+
+TEST(Circuits, PipelineWorkloadSharesFrontEnd) {
+  const auto nl = pipeline_workload(4, 6);
+  EXPECT_EQ(nl.num_contexts(), 4u);
+  const auto sharing = netlist::analyze_sharing(nl);
+  // The per-bit comparators are structurally identical in every context.
+  EXPECT_GE(sharing.shared_lut_classes(), 6u);
+  EXPECT_GT(sharing.merged_lut_ops(), 0u);
+}
+
+TEST(Circuits, GeneratorValidation) {
+  EXPECT_THROW(ripple_carry_adder(0), InvalidArgument);
+  EXPECT_THROW(parity_tree(1), InvalidArgument);
+  EXPECT_THROW(array_multiplier(9), InvalidArgument);
+  EXPECT_THROW(pipeline_workload(1, 4), InvalidArgument);
+}
+
+// --- Random DFGs ---------------------------------------------------------------
+
+TEST(RandomDfg, RespectsParameters) {
+  RandomDfgParams params;
+  params.num_inputs = 6;
+  params.num_nodes = 30;
+  params.max_arity = 4;
+  params.seed = 5;
+  const auto dfg = random_dfg(params);
+  EXPECT_EQ(dfg.num_inputs(), 6u);
+  EXPECT_EQ(dfg.num_lut_ops(), 30u);
+  EXPECT_LE(dfg.max_arity(), 4u);
+  EXPECT_FALSE(dfg.outputs().empty());
+  EXPECT_NO_THROW(dfg.validate());
+}
+
+TEST(RandomDfg, DeterministicPerSeed) {
+  RandomDfgParams params;
+  params.seed = 77;
+  const auto a = random_dfg(params);
+  const auto b = random_dfg(params);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.node(static_cast<netlist::NodeRef>(i)).truth_table,
+              b.node(static_cast<netlist::NodeRef>(i)).truth_table);
+  }
+}
+
+TEST(RandomDfg, MultiContextSharingScalesWithFraction) {
+  RandomMultiContextParams lo;
+  lo.base.num_nodes = 40;
+  lo.share_fraction = 0.0;
+  RandomMultiContextParams hi = lo;
+  hi.share_fraction = 0.8;
+  const auto nl_lo = random_multi_context(lo);
+  const auto nl_hi = random_multi_context(hi);
+  const auto sh_lo = netlist::analyze_sharing(nl_lo);
+  const auto sh_hi = netlist::analyze_sharing(nl_hi);
+  EXPECT_GT(sh_hi.merged_lut_ops(), sh_lo.merged_lut_ops());
+  // 80% of 40 nodes cloned into 3 extra contexts ~ 96 merged evaluations.
+  EXPECT_GE(sh_hi.merged_lut_ops(), 60u);
+}
+
+// --- Bitstream generation --------------------------------------------------------
+
+TEST(BitstreamGen, MeasuredChangeRateTracksRequested) {
+  BitstreamGenParams params;
+  params.rows = 20000;
+  params.change_rate = 0.05;
+  params.seed = 3;
+  const auto bs = generate_bitstream(params);
+  const auto stats = config::compute_stats(bs);
+  EXPECT_NEAR(stats.avg_change_rate, 0.05, 0.01);
+}
+
+TEST(BitstreamGen, ZeroChangeRateGivesAllConstantRows) {
+  BitstreamGenParams params;
+  params.rows = 500;
+  params.change_rate = 0.0;
+  const auto bs = generate_bitstream(params);
+  const auto stats = config::compute_stats(bs);
+  EXPECT_EQ(stats.constant_rows, 500u);
+}
+
+TEST(BitstreamGen, RegularityInjectionProducesSingleBitRows) {
+  BitstreamGenParams params;
+  params.rows = 2000;
+  params.change_rate = 0.0;
+  params.regularity_fraction = 0.5;
+  params.seed = 9;
+  const auto stats = config::compute_stats(generate_bitstream(params));
+  EXPECT_NEAR(static_cast<double>(stats.single_bit_rows) / 2000.0, 0.5,
+              0.05);
+}
+
+TEST(BitstreamGen, BlocksPartitionAllRows) {
+  BitstreamGenParams params;
+  params.rows = 950;
+  const auto blocks = generate_blocks(params, 300);
+  ASSERT_EQ(blocks.size(), 4u);  // 300+300+300+50
+  std::size_t total = 0;
+  for (const auto& b : blocks) {
+    total += b.num_rows();
+  }
+  EXPECT_EQ(total, 950u);
+  EXPECT_EQ(blocks.back().num_rows(), 50u);
+}
+
+TEST(BitstreamGen, ParameterValidation) {
+  BitstreamGenParams params;
+  params.change_rate = 1.5;
+  EXPECT_THROW(generate_bitstream(params), InvalidArgument);
+  BitstreamGenParams params2;
+  EXPECT_THROW(generate_blocks(params2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcfpga::workload
