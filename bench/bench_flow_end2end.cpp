@@ -1,6 +1,7 @@
 // E10 — end-to-end CAD flow on the workload suite: mapping, clustering,
 // placement, routing, timing, functional verification (fabric simulator vs
-// netlist reference) and the per-design area comparison.
+// netlist reference), the per-design area comparison, per-stage pipeline
+// timings, and serial-vs-parallel routing wall clock.
 #include <iostream>
 
 #include "common/strings.hpp"
@@ -83,6 +84,64 @@ int main() {
   t.print(std::cout);
   std::cout << "\nexpected: zero mismatches everywhere; area ratio well "
                "below 100% on every design.\n\n";
+
+  // --- Per-stage pipeline timings and routing parallelism ------------------
+  // Every workload here has >= 4 contexts; the router fans the contexts out
+  // over a worker pool with bit-identical-to-serial results, so the "route"
+  // stage is the one expected to gain wall clock on multi-core hosts.
+  struct TimedWorkload {
+    std::string name;
+    netlist::MultiContextNetlist nl;
+    arch::FabricSpec spec;
+  };
+  std::vector<TimedWorkload> timed;
+  {
+    arch::FabricSpec big = spec;
+    big.width = 6;
+    big.height = 6;
+    timed.push_back({"pipeline(4,12)", workload::pipeline_workload(4, 12),
+                     big});
+    workload::RandomMultiContextParams params;
+    params.base.num_inputs = 10;
+    params.base.num_nodes = 40;
+    params.base.seed = 2024;
+    params.num_contexts = 8;
+    params.share_fraction = 0.3;
+    arch::FabricSpec eight = big;
+    eight.num_contexts = 8;
+    eight.logic_block.num_contexts = 8;
+    timed.push_back({"random(40n,8ctx)",
+                     workload::random_multi_context(params), eight});
+  }
+
+  for (const auto& w : timed) {
+    core::CompileOptions serial;
+    serial.router.num_threads = 1;
+    core::CompileOptions parallel;
+    parallel.router.num_threads = 0;  // one worker per hardware thread
+
+    const auto serial_design = core::compile(w.nl, w.spec, serial);
+    const auto parallel_design = core::compile(w.nl, w.spec, parallel);
+
+    std::cout << "per-stage wall clock, " << w.name << " ("
+              << w.nl.num_contexts() << " contexts):\n";
+    Table st({"stage", "serial router (ms)", "parallel router (ms)"});
+    double serial_route = 0.0;
+    double parallel_route = 0.0;
+    for (std::size_t i = 0; i < serial_design.stage_timings.size(); ++i) {
+      const auto& s = serial_design.stage_timings[i];
+      const auto& p = parallel_design.stage_timings[i];
+      st.add_row({s.name, fmt_double(s.seconds * 1e3, 2),
+                  fmt_double(p.seconds * 1e3, 2)});
+      if (s.name == "route") {
+        serial_route = s.seconds;
+        parallel_route = p.seconds;
+      }
+    }
+    st.print(std::cout);
+    std::cout << "routing speedup (serial / parallel): "
+              << fmt_double(serial_route / parallel_route, 2) << "x\n\n";
+  }
 
   // Detailed report for one design.
   const core::MCFPGA chip(workload::pipeline_workload(4, 6), spec);

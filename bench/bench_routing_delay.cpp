@@ -2,7 +2,8 @@
 // A signal crossing L cells serially passes ~L switch-block SEs; on
 // double-length lines it passes ~L/2 diamond switches.  The bench routes
 // straight-line connections of growing length and a full compiled design
-// under both configurations.
+// under both configurations, then times serial vs parallel per-context
+// routing on a multi-context workload.
 #include <iostream>
 
 #include "arch/routing_graph.hpp"
@@ -78,5 +79,46 @@ int main() {
   }
   std::cout << "compiled pipeline workload, critical path (SE units):\n";
   d.print(std::cout);
+
+  // --- Serial vs parallel per-context routing ------------------------------
+  // Same nets, same graph; only the router's worker count changes.  The
+  // results are bit-identical by construction, so the only difference to
+  // observe is wall clock.
+  {
+    arch::FabricSpec spec;
+    spec.width = 6;
+    spec.height = 6;
+    spec.channel_width = 8;
+    spec.double_length_tracks = 4;
+    core::CompileOptions options;
+    const core::MCFPGA chip(workload::pipeline_workload(4, 10), spec,
+                            options);
+
+    Table p({"router workers", "route stage (ms)"});
+    double serial_ms = 0.0;
+    double parallel_ms = 0.0;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{0}}) {
+      core::CompileOptions timed = options;
+      timed.router.num_threads = workers;
+      const auto design = core::compile(workload::pipeline_workload(4, 10),
+                                        spec, timed);
+      double route_ms = 0.0;
+      for (const auto& s : design.stage_timings) {
+        if (s.name == "route") {
+          route_ms = s.seconds * 1e3;
+        }
+      }
+      (workers == 1 ? serial_ms : parallel_ms) = route_ms;
+      p.add_row({workers == 0 ? "auto (hardware)" : std::to_string(workers),
+                 fmt_double(route_ms, 2)});
+    }
+    std::cout << "\nserial vs parallel per-context routing (bit-identical "
+                 "results):\n";
+    p.print(std::cout);
+    if (parallel_ms > 0.0) {
+      std::cout << "routing speedup (serial / parallel): "
+                << fmt_double(serial_ms / parallel_ms, 2) << "x\n";
+    }
+  }
   return 0;
 }

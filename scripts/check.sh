@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Single CI entry point: configure, build src/ with warnings-as-errors,
+# build tests/benches/examples, and run the test suite.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . -DMCFPGA_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

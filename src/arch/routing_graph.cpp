@@ -47,6 +47,27 @@ RoutingGraph::RoutingGraph(const FabricSpec& spec) : spec_(spec) {
   build_switch_blocks();
   build_connection_blocks();
   build_pads();
+  build_csr();
+}
+
+void RoutingGraph::build_csr() {
+  csr_offsets_.assign(nodes_.size() + 1, 0);
+  for (const RREdge& e : edges_) {
+    ++csr_offsets_[static_cast<std::size_t>(e.from) + 1];
+  }
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    csr_offsets_[n + 1] += csr_offsets_[n];
+  }
+  csr_edges_.resize(edges_.size());
+  csr_targets_.resize(edges_.size());
+  std::vector<std::size_t> cursor(csr_offsets_.begin(),
+                                  csr_offsets_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const RREdge& e = edges_[i];
+    const std::size_t at = cursor[static_cast<std::size_t>(e.from)]++;
+    csr_edges_[at] = static_cast<EdgeId>(i);
+    csr_targets_[at] = e.to;
+  }
 }
 
 std::size_t RoutingGraph::check_node(NodeId id) const {
@@ -69,7 +90,6 @@ std::size_t RoutingGraph::check_switch(SwitchId id) const {
 
 NodeId RoutingGraph::add_node(RRNode node) {
   nodes_.push_back(std::move(node));
-  fanout_.emplace_back();
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -82,13 +102,13 @@ SwitchId RoutingGraph::add_switch(NodeId a, NodeId b, SwitchOwner owner,
   sw.y = y;
   sw.name = std::move(name);
 
+  check_node(a);
+  check_node(b);
   sw.forward = static_cast<EdgeId>(edges_.size());
   edges_.push_back(RREdge{a, b, static_cast<SwitchId>(switches_.size())});
-  fanout_[check_node(a)].push_back(sw.forward);
 
   sw.backward = static_cast<EdgeId>(edges_.size());
   edges_.push_back(RREdge{b, a, static_cast<SwitchId>(switches_.size())});
-  fanout_[check_node(b)].push_back(sw.backward);
 
   switches_.push_back(std::move(sw));
   const std::size_t cell =

@@ -13,6 +13,11 @@
 // bitstream.  The router marks, per context, which switches are on; the
 // switch's context pattern is then exactly the row the RCM decoder (or the
 // conventional context memory) must realize.
+//
+// Adjacency is stored as a flat CSR (compressed-sparse-row) view built once
+// at construction: contiguous edge/target arrays indexed through a per-node
+// offset table.  Graph traversals (the router's maze expansion above all)
+// walk these arrays — no per-node heap allocations on the hot path.
 #pragma once
 
 #include <array>
@@ -74,6 +79,22 @@ struct RRSwitch {
   EdgeId backward = -1;
 };
 
+/// Lightweight view over one node's slice of the CSR edge array.
+class FanoutRange {
+ public:
+  FanoutRange(const EdgeId* first, const EdgeId* last)
+      : first_(first), last_(last) {}
+  const EdgeId* begin() const { return first_; }
+  const EdgeId* end() const { return last_; }
+  std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+  bool empty() const { return first_ == last_; }
+  EdgeId operator[](std::size_t i) const { return first_[i]; }
+
+ private:
+  const EdgeId* first_;
+  const EdgeId* last_;
+};
+
 class RoutingGraph {
  public:
   explicit RoutingGraph(const FabricSpec& spec);
@@ -90,10 +111,22 @@ class RoutingGraph {
     return switches_[check_switch(id)];
   }
 
-  /// Outgoing edges of a node.
-  const std::vector<EdgeId>& fanout(NodeId id) const {
-    return fanout_[check_node(id)];
+  /// Outgoing edges of a node (a view into the flat CSR arrays).
+  FanoutRange fanout(NodeId id) const {
+    const std::size_t n = check_node(id);
+    return FanoutRange(csr_edges_.data() + csr_offsets_[n],
+                       csr_edges_.data() + csr_offsets_[n + 1]);
   }
+
+  /// Flat CSR adjacency, built once at construction.  Hot-path consumers
+  /// (the router above all) index these directly: the fanout of node u
+  /// lives at positions [csr_offsets()[u], csr_offsets()[u+1]) of the two
+  /// parallel arrays below.
+  const std::vector<std::size_t>& csr_offsets() const { return csr_offsets_; }
+  /// Edge id at each CSR position.
+  const std::vector<EdgeId>& csr_edges() const { return csr_edges_; }
+  /// Target node of the edge at each CSR position.
+  const std::vector<NodeId>& csr_targets() const { return csr_targets_; }
 
   /// Pin / pad node lookups.
   NodeId out_pin(std::size_t x, std::size_t y, std::size_t pin) const;
@@ -122,12 +155,17 @@ class RoutingGraph {
   void build_connection_blocks();
   void build_double_length();
   void build_pads();
+  /// Flattens the per-node adjacency accumulated during construction into
+  /// the contiguous CSR arrays (stable: preserves edge insertion order).
+  void build_csr();
 
   FabricSpec spec_;
   std::vector<RRNode> nodes_;
   std::vector<RREdge> edges_;
   std::vector<RRSwitch> switches_;
-  std::vector<std::vector<EdgeId>> fanout_;
+  std::vector<std::size_t> csr_offsets_;  ///< num_nodes + 1 entries.
+  std::vector<EdgeId> csr_edges_;
+  std::vector<NodeId> csr_targets_;
 
   // Lookup tables built during construction.
   std::vector<NodeId> out_pins_;  // [cell][pin]

@@ -1,507 +1,15 @@
 #include "core/flow.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "common/error.hpp"
-#include "config/context_id.hpp"
-#include "mapping/context_merge.hpp"
-#include "mapping/tech_map.hpp"
+#include "core/stages.hpp"
 
 namespace mcfpga::core {
 
-namespace {
-
-using mapping::ClassUse;
-
-/// Union-append `extra` into `pins`, preserving first-seen order.
-void merge_pins(std::vector<std::size_t>& pins,
-                const std::vector<std::size_t>& extra) {
-  for (const std::size_t p : extra) {
-    if (std::find(pins.begin(), pins.end(), p) == pins.end()) {
-      pins.push_back(p);
-    }
-  }
-}
-
-std::size_t pin_of(const Cluster& cluster, std::size_t cls) {
-  const auto it =
-      std::find(cluster.pin_signals.begin(), cluster.pin_signals.end(), cls);
-  MCFPGA_CHECK(it != cluster.pin_signals.end(),
-               "signal not present on cluster pins");
-  return static_cast<std::size_t>(it - cluster.pin_signals.begin());
-}
-
-}  // namespace
-
-CompiledDesign compile(const netlist::MultiContextNetlist& input_netlist,
-                       const arch::FabricSpec& input_spec,
+CompiledDesign compile(const netlist::MultiContextNetlist& netlist,
+                       const arch::FabricSpec& spec,
                        const CompileOptions& options) {
-  input_netlist.validate();
-  arch::FabricSpec spec = input_spec;
-  spec.validate();
-  const std::size_t n = spec.num_contexts;
-  MCFPGA_REQUIRE(input_netlist.num_contexts() == n,
-                 "netlist context count must match the fabric");
-
-  CompiledDesign d;
-
-  // --- 1. Tech map ---------------------------------------------------------
-  const std::size_t max_inputs =
-      spec.logic_block.base_inputs + config::num_id_bits(n);
-  d.netlist = mapping::decompose_to_arity(input_netlist, max_inputs);
-
-  // --- 2. Sharing ----------------------------------------------------------
-  d.sharing = netlist::analyze_sharing(d.netlist);
-  const std::vector<ClassUse> uses =
-      mapping::lut_class_uses(d.netlist, d.sharing);
-
-  // --- 3. Plane allocation -------------------------------------------------
-  d.planes = mapping::allocate_planes(uses, spec.logic_block.base_inputs, n,
-                                      spec.logic_block.control);
-
-  // --- 4. Clustering -------------------------------------------------------
-  // Slots sharing a logic block share its input pins, so (a) the union of
-  // their fanin signals must fit the mode's inputs and (b) no slot may feed
-  // another slot in the same block — the block evaluates only when ALL its
-  // pins are resolved, so an intra-block dependency would deadlock it.
-  d.slot_cluster.assign(d.planes.slots.size(), SIZE_MAX);
-  d.slot_output.assign(d.planes.slots.size(), SIZE_MAX);
-  std::vector<std::vector<std::size_t>> cluster_produces;
-  const auto slot_produces = [&](std::size_t s) {
-    std::vector<std::size_t> out;
-    for (const auto& e : d.planes.slots[s].entries) {
-      out.push_back(e.use.cls);
-    }
-    return out;
-  };
-  for (std::size_t s = 0; s < d.planes.slots.size(); ++s) {
-    const auto& slot = d.planes.slots[s];
-    std::vector<std::size_t> pins;
-    for (const auto& e : slot.entries) {
-      merge_pins(pins, e.use.fanin_classes);
-    }
-    MCFPGA_CHECK(pins.size() <= slot.mode.inputs,
-                 "slot fanin exceeds its mode inputs");
-    const std::vector<std::size_t> produces = slot_produces(s);
-    bool placed = false;
-    for (std::size_t k = 0; k < d.clusters.size() && !placed; ++k) {
-      Cluster& cl = d.clusters[k];
-      if (cl.mode != slot.mode ||
-          cl.slots.size() >= spec.logic_block.num_outputs) {
-        continue;
-      }
-      std::vector<std::size_t> merged = cl.pin_signals;
-      merge_pins(merged, pins);
-      if (merged.size() > cl.mode.inputs) {
-        continue;
-      }
-      // Reject intra-block dependencies in either direction.
-      bool dependent = false;
-      for (const std::size_t p : merged) {
-        if (std::find(produces.begin(), produces.end(), p) !=
-                produces.end() ||
-            std::find(cluster_produces[k].begin(), cluster_produces[k].end(),
-                      p) != cluster_produces[k].end()) {
-          dependent = true;
-          break;
-        }
-      }
-      if (dependent) {
-        continue;
-      }
-      d.slot_cluster[s] = k;
-      d.slot_output[s] = cl.slots.size();
-      cl.slots.push_back(s);
-      cl.pin_signals = std::move(merged);
-      cluster_produces[k].insert(cluster_produces[k].end(), produces.begin(),
-                                 produces.end());
-      placed = true;
-    }
-    if (!placed) {
-      Cluster cl;
-      cl.mode = slot.mode;
-      cl.slots.push_back(s);
-      cl.pin_signals = pins;
-      d.slot_cluster[s] = d.clusters.size();
-      d.slot_output[s] = 0;
-      d.clusters.push_back(std::move(cl));
-      cluster_produces.push_back(produces);
-    }
-  }
-
-  // --- I/O terminal discovery ---------------------------------------------
-  // Class id -> primary-input name for input classes.
-  std::unordered_map<std::size_t, std::string> input_class_name;
-  for (const auto& cls : d.sharing.classes) {
-    if (cls.arity == 0 && !cls.members.empty()) {
-      const auto& [ctx, node] = cls.members.front();
-      input_class_name.emplace(cls.id, d.netlist.context(ctx).node(node).name);
-    }
-  }
-  // Output name -> per-context driver class.
-  std::map<std::string, std::vector<std::size_t>> output_driver;  // SIZE_MAX = absent
-  for (const std::string& name : d.netlist.all_output_names()) {
-    output_driver.emplace(name, std::vector<std::size_t>(n, SIZE_MAX));
-  }
-  for (std::size_t c = 0; c < n; ++c) {
-    for (const auto& out : d.netlist.context(c).outputs()) {
-      output_driver[out.name][c] =
-          d.sharing.class_of[c][static_cast<std::size_t>(out.node)];
-    }
-  }
-  // Input classes that must reach the fabric: logic fanins + direct PO taps.
-  std::unordered_set<std::size_t> needed_inputs;
-  for (const auto& cl : d.clusters) {
-    for (const std::size_t sig : cl.pin_signals) {
-      if (input_class_name.count(sig) != 0) {
-        needed_inputs.insert(sig);
-      }
-    }
-  }
-  for (const auto& [name, drivers] : output_driver) {
-    for (const std::size_t cls : drivers) {
-      if (cls != SIZE_MAX && input_class_name.count(cls) != 0) {
-        needed_inputs.insert(cls);
-      }
-    }
-  }
-
-  // Terminal numbering: inputs (sorted by name for determinism), then
-  // outputs (sorted by name).
-  std::vector<std::pair<std::string, std::size_t>> input_list;
-  for (const std::size_t cls : needed_inputs) {
-    input_list.emplace_back(input_class_name.at(cls), cls);
-  }
-  std::sort(input_list.begin(), input_list.end());
-  std::unordered_map<std::size_t, std::size_t> input_class_terminal;
-  for (std::size_t i = 0; i < input_list.size(); ++i) {
-    d.input_terminals[input_list[i].first] = i;
-    input_class_terminal[input_list[i].second] = i;
-  }
-  std::size_t next_terminal = input_list.size();
-  for (const auto& [name, drivers] : output_driver) {
-    d.output_terminals[name] = next_terminal++;
-  }
-  const std::size_t num_terminals = next_terminal;
-
-  // --- Fabric sizing -------------------------------------------------------
-  const auto pads_available = [](const arch::FabricSpec& s) {
-    // 2 pads per perimeter cell (matching RoutingGraph::build_pads).
-    const std::size_t perimeter =
-        s.width <= 1 || s.height <= 1
-            ? s.num_cells()
-            : 2 * s.width + 2 * s.height - 4;
-    return 2 * perimeter;
-  };
-  if (options.auto_size) {
-    while (spec.num_cells() < d.clusters.size() ||
-           pads_available(spec) < num_terminals) {
-      if (spec.width <= spec.height) {
-        ++spec.width;
-      } else {
-        ++spec.height;
-      }
-    }
-  }
-  if (spec.num_cells() < d.clusters.size()) {
-    throw FlowError("fabric too small: " + std::to_string(d.clusters.size()) +
-                    " logic blocks needed, " +
-                    std::to_string(spec.num_cells()) + " cells available");
-  }
-  d.fabric = spec;
-  const arch::RoutingGraph graph(spec);
-  if (graph.num_pads() < num_terminals) {
-    throw FlowError("fabric has too few I/O pads");
-  }
-
-  // --- 5. Placement --------------------------------------------------------
-  place::PlacementProblem prob;
-  prob.num_clusters = d.clusters.size();
-  prob.num_io_terminals = num_terminals;
-  {
-    // One placement net per driver class that anything reads.
-    struct NetAccum {
-      place::Terminal driver;
-      std::vector<place::Terminal> sinks;
-      std::size_t weight = 0;
-    };
-    std::map<std::size_t, NetAccum> by_class;
-    const auto driver_terminal = [&](std::size_t cls) {
-      const auto it = input_class_terminal.find(cls);
-      if (it != input_class_terminal.end()) {
-        return place::Terminal::io(it->second);
-      }
-      return place::Terminal::cluster(
-          d.slot_cluster[d.planes.slot_of_class.at(cls)]);
-    };
-    for (std::size_t k = 0; k < d.clusters.size(); ++k) {
-      for (const std::size_t sig : d.clusters[k].pin_signals) {
-        auto& acc = by_class[sig];
-        if (acc.sinks.empty() && acc.weight == 0) {
-          acc.driver = driver_terminal(sig);
-        }
-        acc.sinks.push_back(place::Terminal::cluster(k));
-        ++acc.weight;
-      }
-    }
-    for (const auto& [name, drivers] : output_driver) {
-      const std::size_t term = d.output_terminals.at(name);
-      for (const std::size_t cls : drivers) {
-        if (cls == SIZE_MAX) {
-          continue;
-        }
-        auto& acc = by_class[cls];
-        if (acc.sinks.empty() && acc.weight == 0) {
-          acc.driver = driver_terminal(cls);
-        }
-        acc.sinks.push_back(place::Terminal::io(term));
-        ++acc.weight;
-      }
-    }
-    for (auto& [cls, acc] : by_class) {
-      place::PlacementNet net;
-      net.driver = acc.driver;
-      net.sinks = std::move(acc.sinks);
-      net.weight = std::max<std::size_t>(acc.weight, 1);
-      prob.nets.push_back(std::move(net));
-    }
-  }
-  place::PlacerOptions placer_options = options.placer;
-  placer_options.seed = options.seed;
-  d.placement = place::place(prob, graph, placer_options);
-
-  // --- 6. Routing ----------------------------------------------------------
-  const auto cluster_pos = [&](std::size_t k) {
-    return d.placement.cluster_pos[k];
-  };
-  const auto class_driver_node = [&](std::size_t cls) -> arch::NodeId {
-    const auto it = input_class_terminal.find(cls);
-    if (it != input_class_terminal.end()) {
-      return graph.pad(d.placement.io_pads[it->second]);
-    }
-    const std::size_t slot = d.planes.slot_of_class.at(cls);
-    const std::size_t k = d.slot_cluster[slot];
-    const auto [x, y] = cluster_pos(k);
-    return graph.out_pin(x, y, d.slot_output[slot]);
-  };
-
-  std::vector<std::vector<route::RouteNet>> nets_per_context(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    std::map<std::size_t, route::RouteNet> by_driver;  // class -> net
-    const auto add_sink = [&](std::size_t cls, arch::NodeId sink) {
-      auto& net = by_driver[cls];
-      if (net.sinks.empty()) {
-        net.name = "net_cls" + std::to_string(cls);
-        net.source = class_driver_node(cls);
-      }
-      if (std::find(net.sinks.begin(), net.sinks.end(), sink) ==
-          net.sinks.end()) {
-        net.sinks.push_back(sink);
-      }
-    };
-    for (std::size_t k = 0; k < d.clusters.size(); ++k) {
-      const Cluster& cl = d.clusters[k];
-      const auto [x, y] = cluster_pos(k);
-      for (const std::size_t s : cl.slots) {
-        for (const auto& e : d.planes.slots[s].entries) {
-          if (std::find(e.use.contexts.begin(), e.use.contexts.end(), c) ==
-              e.use.contexts.end()) {
-            continue;
-          }
-          for (const std::size_t f : e.use.fanin_classes) {
-            add_sink(f, graph.in_pin(x, y, pin_of(cl, f)));
-          }
-        }
-      }
-    }
-    for (const auto& [name, drivers] : output_driver) {
-      if (drivers[c] == SIZE_MAX) {
-        continue;
-      }
-      add_sink(drivers[c],
-               graph.pad(d.placement.io_pads[d.output_terminals.at(name)]));
-    }
-    nets_per_context[c].reserve(by_driver.size());
-    for (auto& [cls, net] : by_driver) {
-      nets_per_context[c].push_back(std::move(net));
-    }
-  }
-
-  const route::Router router(graph, options.router);
-  d.routing = router.route(nets_per_context);
-  if (!d.routing.success) {
-    throw FlowError("routing failed to converge (congestion)");
-  }
-
-  // --- 7. Programming ------------------------------------------------------
-  d.program.switch_patterns = d.routing.switch_patterns;
-  for (std::size_t k = 0; k < d.clusters.size(); ++k) {
-    const Cluster& cl = d.clusters[k];
-    const auto [x, y] = cluster_pos(k);
-    sim::LbConfig cfg;
-    cfg.x = x;
-    cfg.y = y;
-    cfg.mode = cl.mode;
-    cfg.outputs.resize(spec.logic_block.num_outputs);
-    for (const std::size_t s : cl.slots) {
-      auto& out = cfg.outputs[d.slot_output[s]];
-      out.used = true;
-      out.plane_tables.assign(cl.mode.planes,
-                              BitVector(std::size_t{1} << cl.mode.inputs));
-      for (const auto& e : d.planes.slots[s].entries) {
-        // Pin positions of the entry's fanins.
-        std::vector<std::size_t> pin(e.use.fanin_classes.size());
-        for (std::size_t i = 0; i < pin.size(); ++i) {
-          pin[i] = pin_of(cl, e.use.fanin_classes[i]);
-        }
-        BitVector table(std::size_t{1} << cl.mode.inputs);
-        for (std::size_t a = 0; a < table.size(); ++a) {
-          std::size_t address = 0;
-          for (std::size_t i = 0; i < pin.size(); ++i) {
-            if ((a >> pin[i]) & 1) {
-              address |= std::size_t{1} << i;
-            }
-          }
-          table.set(a, e.use.truth_table.get(address));
-        }
-        for (const std::size_t plane : e.planes) {
-          out.plane_tables[plane] = table;
-        }
-      }
-    }
-    d.program.lbs.push_back(std::move(cfg));
-  }
-  for (const auto& [name, term] : d.input_terminals) {
-    d.program.input_pads[name] = d.placement.io_pads[term];
-  }
-  for (const auto& [name, term] : d.output_terminals) {
-    d.program.output_pads[name] = d.placement.io_pads[term];
-  }
-
-  // --- Full-fabric bitstream -----------------------------------------------
-  d.full_bitstream = d.routing.to_bitstream(graph);
-  for (const auto& lb : d.program.lbs) {
-    const std::string prefix =
-        "lb(" + std::to_string(lb.x) + "," + std::to_string(lb.y) + ")";
-    for (std::size_t o = 0; o < lb.outputs.size(); ++o) {
-      if (!lb.outputs[o].used) {
-        continue;
-      }
-      const auto& tables = lb.outputs[o].plane_tables;
-      const std::size_t addresses = std::size_t{1} << lb.mode.inputs;
-      for (std::size_t a = 0; a < addresses; ++a) {
-        config::ContextPattern pattern(n);
-        for (std::size_t c = 0; c < n; ++c) {
-          pattern.set_value(c, tables[c & (lb.mode.planes - 1)].get(a));
-        }
-        d.full_bitstream.add_row(
-            prefix + ".out" + std::to_string(o) + "[" + std::to_string(a) +
-                "]",
-            config::ResourceKind::kLutBit, std::move(pattern));
-      }
-    }
-    // Mode (size-controller) bits: context-independent by definition.
-    const std::size_t mode_bits = config::num_id_bits(n);
-    const std::size_t planes_log =
-        static_cast<std::size_t>(std::log2(lb.mode.planes) + 0.5);
-    for (std::size_t b = 0; b < mode_bits; ++b) {
-      d.full_bitstream.add_row(
-          prefix + ".mode" + std::to_string(b),
-          config::ResourceKind::kControlBit,
-          config::ContextPattern(n, ((planes_log >> b) & 1) != 0));
-    }
-  }
-
-  // --- Timing & stats ------------------------------------------------------
-  // Timing node ids: one per SLOT (a slot has at most one active entry per
-  // context, so per-context it is a single timing node; clusters would
-  // alias independent slots into false cycles), then I/O terminals.
-  const std::size_t num_nodes = d.planes.slots.size() + num_terminals;
-  std::map<std::pair<std::size_t, std::size_t>, std::size_t> pos_cluster;
-  for (std::size_t k = 0; k < d.clusters.size(); ++k) {
-    pos_cluster[{cluster_pos(k).first, cluster_pos(k).second}] = k;
-  }
-  std::unordered_map<std::size_t, std::size_t> pad_terminal;  // pad -> term
-  for (std::size_t t = 0; t < d.placement.io_pads.size(); ++t) {
-    pad_terminal[d.placement.io_pads[t]] = t;
-  }
-  const auto slot_at = [&](std::size_t cluster, std::size_t output) {
-    for (const std::size_t s : d.clusters[cluster].slots) {
-      if (d.slot_output[s] == output) {
-        return s;
-      }
-    }
-    throw ProgrammingError("no slot at cluster output");
-  };
-  d.context_stats.resize(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    std::vector<sim::TimingArc> arcs;
-    auto& stats = d.context_stats[c];
-    stats.nets = d.routing.nets[c].size();
-    for (const auto& net : d.routing.nets[c]) {
-      const auto& src = graph.node(net.source);
-      std::size_t from;
-      if (src.kind == arch::NodeKind::kPad) {
-        from = d.planes.slots.size() +
-               pad_terminal.at(static_cast<std::size_t>(src.index));
-      } else {
-        const std::size_t k =
-            pos_cluster.at({static_cast<std::size_t>(src.x),
-                            static_cast<std::size_t>(src.y)});
-        from = slot_at(k, static_cast<std::size_t>(src.index));
-      }
-      for (const auto& path : net.paths) {
-        stats.switches_crossed += path.switch_count();
-        stats.wire_nodes_used += path.edges.size();
-        const auto& snk = graph.node(path.sink);
-        if (snk.kind == arch::NodeKind::kPad) {
-          sim::TimingArc arc;
-          arc.from = from;
-          arc.switches = path.switch_count();
-          arc.to = d.planes.slots.size() +
-                   pad_terminal.at(static_cast<std::size_t>(snk.index));
-          arc.to_is_lut = false;
-          if (arc.from != arc.to) {
-            arcs.push_back(arc);
-          }
-          continue;
-        }
-        // In-pin: fan the arc out to every slot that reads this pin's
-        // signal in context c.
-        const std::size_t k =
-            pos_cluster.at({static_cast<std::size_t>(snk.x),
-                            static_cast<std::size_t>(snk.y)});
-        const Cluster& cl = d.clusters[k];
-        const std::size_t signal =
-            cl.pin_signals[static_cast<std::size_t>(snk.index)];
-        for (const std::size_t s : cl.slots) {
-          for (const auto& e : d.planes.slots[s].entries) {
-            if (std::find(e.use.contexts.begin(), e.use.contexts.end(), c) ==
-                    e.use.contexts.end() ||
-                std::find(e.use.fanin_classes.begin(),
-                          e.use.fanin_classes.end(),
-                          signal) == e.use.fanin_classes.end()) {
-              continue;
-            }
-            sim::TimingArc arc;
-            arc.from = from;
-            arc.to = s;
-            arc.switches = path.switch_count();
-            arc.to_is_lut = true;
-            if (arc.from != arc.to) {
-              arcs.push_back(arc);
-            }
-          }
-        }
-      }
-    }
-    stats.critical_path = sim::analyze_timing(num_nodes, arcs).critical_path;
-  }
-
-  return d;
+  FlowContext ctx = make_flow_context(netlist, spec, options);
+  run_pipeline(ctx, default_pipeline());
+  return finalize_design(std::move(ctx));
 }
 
 }  // namespace mcfpga::core

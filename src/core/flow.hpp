@@ -1,18 +1,24 @@
 // End-to-end compilation flow: multi-context netlist -> programmed fabric.
 //
-// Pipeline (the "mapping tools" the paper defers to future work, built here
-// so the architecture can be exercised):
-//   1. tech map       — Shannon-decompose ops to the single-plane LUT size;
-//   2. sharing        — structural hashing across contexts (Fig. 14a);
-//   3. plane alloc    — classes -> MCMG-LUT slots + granularity (Sec. 4);
-//   4. clustering     — slots -> logic blocks (shared input pins);
-//   5. placement      — simulated annealing over the cell grid;
-//   6. routing        — PathFinder per context over the RRG (Sec. 3);
-//   7. programming    — LUT plane tables over pin addresses, switch
-//                       patterns, pad bindings, full fabric bitstream.
+// The flow is a pipeline of named stages (core/stages.hpp) driven by a
+// FlowContext that carries every intermediate artifact plus per-stage
+// wall-clock timings (the "mapping tools" the paper defers to future work,
+// built here so the architecture can be exercised):
 //
-// The result carries everything needed to simulate, time, and price the
-// design on both the conventional and the proposed fabric.
+//   TechMapStage    — Shannon-decompose ops to the single-plane LUT size;
+//   SharingStage    — structural hashing across contexts (Fig. 14a);
+//   PlaneAllocStage — classes -> MCMG-LUT slots + granularity (Sec. 4);
+//   ClusterStage    — slots -> logic blocks, I/O terminal discovery;
+//   PlaceStage      — fabric sizing + simulated annealing over the grid;
+//   RouteStage      — PathFinder over the RRG (Sec. 3), contexts routed
+//                     in parallel with bit-identical-to-serial results;
+//   ProgramStage    — LUT plane tables, switch patterns, pad bindings,
+//                     full fabric bitstream, per-context stats.
+//
+// compile() runs the default pipeline end to end; callers that want stage
+// reuse, ablation benches, or batch compilation drive the stages directly
+// via core/stages.hpp.  The result carries everything needed to simulate,
+// time, and price the design on both fabrics.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +61,12 @@ struct ContextStats {
   double critical_path = 0.0;        ///< From the SE delay model.
 };
 
+/// Wall-clock of one pipeline stage (filled by run_pipeline).
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
 struct CompiledDesign {
   arch::FabricSpec fabric;               ///< Possibly auto-grown.
   netlist::MultiContextNetlist netlist;  ///< Post tech-map.
@@ -75,6 +87,9 @@ struct CompiledDesign {
   config::Bitstream full_bitstream;
 
   std::vector<ContextStats> context_stats;
+
+  /// Per-stage wall-clock of the pipeline that produced this design.
+  std::vector<StageTiming> stage_timings;
 
   /// Primary I/O name -> placement terminal index.
   std::map<std::string, std::size_t> input_terminals;

@@ -1,0 +1,610 @@
+#include "core/stages.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "config/context_id.hpp"
+#include "mapping/context_merge.hpp"
+#include "mapping/tech_map.hpp"
+
+namespace mcfpga::core {
+
+namespace {
+
+using mapping::ClassUse;
+
+/// Union-append `extra` into `pins`, preserving first-seen order.
+void merge_pins(std::vector<std::size_t>& pins,
+                const std::vector<std::size_t>& extra) {
+  for (const std::size_t p : extra) {
+    if (std::find(pins.begin(), pins.end(), p) == pins.end()) {
+      pins.push_back(p);
+    }
+  }
+}
+
+std::size_t pin_of(const Cluster& cluster, std::size_t cls) {
+  const auto it =
+      std::find(cluster.pin_signals.begin(), cluster.pin_signals.end(), cls);
+  MCFPGA_CHECK(it != cluster.pin_signals.end(),
+               "signal not present on cluster pins");
+  return static_cast<std::size_t>(it - cluster.pin_signals.begin());
+}
+
+/// Pads attached at each perimeter cell (matching RoutingGraph::build_pads).
+std::size_t pads_available(const arch::FabricSpec& s) {
+  const std::size_t perimeter = s.width <= 1 || s.height <= 1
+                                    ? s.num_cells()
+                                    : 2 * s.width + 2 * s.height - 4;
+  return 2 * perimeter;
+}
+
+}  // namespace
+
+// --- TechMapStage ------------------------------------------------------------
+
+void TechMapStage::run(FlowContext& ctx) const {
+  MCFPGA_REQUIRE(ctx.input != nullptr, "flow context has no input netlist");
+  const std::size_t max_inputs =
+      ctx.spec.logic_block.base_inputs +
+      config::num_id_bits(ctx.spec.num_contexts);
+  ctx.netlist = mapping::decompose_to_arity(*ctx.input, max_inputs);
+}
+
+// --- SharingStage ------------------------------------------------------------
+
+void SharingStage::run(FlowContext& ctx) const {
+  ctx.sharing = netlist::analyze_sharing(ctx.netlist);
+  ctx.uses = mapping::lut_class_uses(ctx.netlist, ctx.sharing);
+}
+
+// --- PlaneAllocStage ---------------------------------------------------------
+
+void PlaneAllocStage::run(FlowContext& ctx) const {
+  ctx.planes = mapping::allocate_planes(
+      ctx.uses, ctx.spec.logic_block.base_inputs, ctx.spec.num_contexts,
+      ctx.spec.logic_block.control);
+}
+
+// --- ClusterStage ------------------------------------------------------------
+
+void ClusterStage::run(FlowContext& ctx) const {
+  const std::size_t n = ctx.spec.num_contexts;
+
+  // Slots sharing a logic block share its input pins, so (a) the union of
+  // their fanin signals must fit the mode's inputs and (b) no slot may feed
+  // another slot in the same block — the block evaluates only when ALL its
+  // pins are resolved, so an intra-block dependency would deadlock it.
+  ctx.slot_cluster.assign(ctx.planes.slots.size(), SIZE_MAX);
+  ctx.slot_output.assign(ctx.planes.slots.size(), SIZE_MAX);
+  std::vector<std::vector<std::size_t>> cluster_produces;
+  const auto slot_produces = [&](std::size_t s) {
+    std::vector<std::size_t> out;
+    for (const auto& e : ctx.planes.slots[s].entries) {
+      out.push_back(e.use.cls);
+    }
+    return out;
+  };
+  for (std::size_t s = 0; s < ctx.planes.slots.size(); ++s) {
+    const auto& slot = ctx.planes.slots[s];
+    std::vector<std::size_t> pins;
+    for (const auto& e : slot.entries) {
+      merge_pins(pins, e.use.fanin_classes);
+    }
+    MCFPGA_CHECK(pins.size() <= slot.mode.inputs,
+                 "slot fanin exceeds its mode inputs");
+    const std::vector<std::size_t> produces = slot_produces(s);
+    bool placed = false;
+    for (std::size_t k = 0; k < ctx.clusters.size() && !placed; ++k) {
+      Cluster& cl = ctx.clusters[k];
+      if (cl.mode != slot.mode ||
+          cl.slots.size() >= ctx.spec.logic_block.num_outputs) {
+        continue;
+      }
+      std::vector<std::size_t> merged = cl.pin_signals;
+      merge_pins(merged, pins);
+      if (merged.size() > cl.mode.inputs) {
+        continue;
+      }
+      // Reject intra-block dependencies in either direction.
+      bool dependent = false;
+      for (const std::size_t p : merged) {
+        if (std::find(produces.begin(), produces.end(), p) !=
+                produces.end() ||
+            std::find(cluster_produces[k].begin(), cluster_produces[k].end(),
+                      p) != cluster_produces[k].end()) {
+          dependent = true;
+          break;
+        }
+      }
+      if (dependent) {
+        continue;
+      }
+      ctx.slot_cluster[s] = k;
+      ctx.slot_output[s] = cl.slots.size();
+      cl.slots.push_back(s);
+      cl.pin_signals = std::move(merged);
+      cluster_produces[k].insert(cluster_produces[k].end(), produces.begin(),
+                                 produces.end());
+      placed = true;
+    }
+    if (!placed) {
+      Cluster cl;
+      cl.mode = slot.mode;
+      cl.slots.push_back(s);
+      cl.pin_signals = pins;
+      ctx.slot_cluster[s] = ctx.clusters.size();
+      ctx.slot_output[s] = 0;
+      ctx.clusters.push_back(std::move(cl));
+      cluster_produces.push_back(produces);
+    }
+  }
+
+  // I/O terminal discovery: class id -> primary-input name.
+  for (const auto& cls : ctx.sharing.classes) {
+    if (cls.arity == 0 && !cls.members.empty()) {
+      const auto& [c, node] = cls.members.front();
+      ctx.input_class_name.emplace(cls.id,
+                                   ctx.netlist.context(c).node(node).name);
+    }
+  }
+  // Output name -> per-context driver class.
+  for (const std::string& name : ctx.netlist.all_output_names()) {
+    ctx.output_driver.emplace(name, std::vector<std::size_t>(n, SIZE_MAX));
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    for (const auto& out : ctx.netlist.context(c).outputs()) {
+      ctx.output_driver[out.name][c] =
+          ctx.sharing.class_of[c][static_cast<std::size_t>(out.node)];
+    }
+  }
+  // Input classes that must reach the fabric: logic fanins + direct PO taps.
+  std::unordered_set<std::size_t> needed_inputs;
+  for (const auto& cl : ctx.clusters) {
+    for (const std::size_t sig : cl.pin_signals) {
+      if (ctx.input_class_name.count(sig) != 0) {
+        needed_inputs.insert(sig);
+      }
+    }
+  }
+  for (const auto& [name, drivers] : ctx.output_driver) {
+    for (const std::size_t cls : drivers) {
+      if (cls != SIZE_MAX && ctx.input_class_name.count(cls) != 0) {
+        needed_inputs.insert(cls);
+      }
+    }
+  }
+
+  // Terminal numbering: inputs (sorted by name for determinism), then
+  // outputs (sorted by name).
+  std::vector<std::pair<std::string, std::size_t>> input_list;
+  for (const std::size_t cls : needed_inputs) {
+    input_list.emplace_back(ctx.input_class_name.at(cls), cls);
+  }
+  std::sort(input_list.begin(), input_list.end());
+  for (std::size_t i = 0; i < input_list.size(); ++i) {
+    ctx.input_terminals[input_list[i].first] = i;
+    ctx.input_class_terminal[input_list[i].second] = i;
+  }
+  std::size_t next_terminal = input_list.size();
+  for (const auto& [name, drivers] : ctx.output_driver) {
+    ctx.output_terminals[name] = next_terminal++;
+  }
+  ctx.num_terminals = next_terminal;
+}
+
+// --- PlaceStage --------------------------------------------------------------
+
+void PlaceStage::run(FlowContext& ctx) const {
+  if (ctx.options.auto_size) {
+    while (ctx.spec.num_cells() < ctx.clusters.size() ||
+           pads_available(ctx.spec) < ctx.num_terminals) {
+      if (ctx.spec.width <= ctx.spec.height) {
+        ++ctx.spec.width;
+      } else {
+        ++ctx.spec.height;
+      }
+    }
+  }
+  if (ctx.spec.num_cells() < ctx.clusters.size()) {
+    throw FlowError("fabric too small: " +
+                    std::to_string(ctx.clusters.size()) +
+                    " logic blocks needed, " +
+                    std::to_string(ctx.spec.num_cells()) +
+                    " cells available");
+  }
+  ctx.graph = std::make_unique<arch::RoutingGraph>(ctx.spec);
+  if (ctx.graph->num_pads() < ctx.num_terminals) {
+    throw FlowError("fabric has too few I/O pads");
+  }
+
+  place::PlacementProblem prob;
+  prob.num_clusters = ctx.clusters.size();
+  prob.num_io_terminals = ctx.num_terminals;
+  {
+    // One placement net per driver class that anything reads.
+    struct NetAccum {
+      place::Terminal driver;
+      std::vector<place::Terminal> sinks;
+      std::size_t weight = 0;
+    };
+    std::map<std::size_t, NetAccum> by_class;
+    const auto driver_terminal = [&](std::size_t cls) {
+      const auto it = ctx.input_class_terminal.find(cls);
+      if (it != ctx.input_class_terminal.end()) {
+        return place::Terminal::io(it->second);
+      }
+      return place::Terminal::cluster(
+          ctx.slot_cluster[ctx.planes.slot_of_class.at(cls)]);
+    };
+    for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+      for (const std::size_t sig : ctx.clusters[k].pin_signals) {
+        auto& acc = by_class[sig];
+        if (acc.sinks.empty() && acc.weight == 0) {
+          acc.driver = driver_terminal(sig);
+        }
+        acc.sinks.push_back(place::Terminal::cluster(k));
+        ++acc.weight;
+      }
+    }
+    for (const auto& [name, drivers] : ctx.output_driver) {
+      const std::size_t term = ctx.output_terminals.at(name);
+      for (const std::size_t cls : drivers) {
+        if (cls == SIZE_MAX) {
+          continue;
+        }
+        auto& acc = by_class[cls];
+        if (acc.sinks.empty() && acc.weight == 0) {
+          acc.driver = driver_terminal(cls);
+        }
+        acc.sinks.push_back(place::Terminal::io(term));
+        ++acc.weight;
+      }
+    }
+    for (auto& [cls, acc] : by_class) {
+      place::PlacementNet net;
+      net.driver = acc.driver;
+      net.sinks = std::move(acc.sinks);
+      net.weight = std::max<std::size_t>(acc.weight, 1);
+      prob.nets.push_back(std::move(net));
+    }
+  }
+  place::PlacerOptions placer_options = ctx.options.placer;
+  placer_options.seed = ctx.options.seed;
+  ctx.placement = place::place(prob, *ctx.graph, placer_options);
+}
+
+// --- RouteStage --------------------------------------------------------------
+
+void RouteStage::run(FlowContext& ctx) const {
+  const std::size_t n = ctx.spec.num_contexts;
+  const arch::RoutingGraph& graph = *ctx.graph;
+
+  const auto cluster_pos = [&](std::size_t k) {
+    return ctx.placement.cluster_pos[k];
+  };
+  const auto class_driver_node = [&](std::size_t cls) -> arch::NodeId {
+    const auto it = ctx.input_class_terminal.find(cls);
+    if (it != ctx.input_class_terminal.end()) {
+      return graph.pad(ctx.placement.io_pads[it->second]);
+    }
+    const std::size_t slot = ctx.planes.slot_of_class.at(cls);
+    const std::size_t k = ctx.slot_cluster[slot];
+    const auto [x, y] = cluster_pos(k);
+    return graph.out_pin(x, y, ctx.slot_output[slot]);
+  };
+
+  ctx.nets_per_context.assign(n, {});
+  for (std::size_t c = 0; c < n; ++c) {
+    std::map<std::size_t, route::RouteNet> by_driver;  // class -> net
+    const auto add_sink = [&](std::size_t cls, arch::NodeId sink) {
+      auto& net = by_driver[cls];
+      if (net.sinks.empty()) {
+        net.name = "net_cls" + std::to_string(cls);
+        net.source = class_driver_node(cls);
+      }
+      if (std::find(net.sinks.begin(), net.sinks.end(), sink) ==
+          net.sinks.end()) {
+        net.sinks.push_back(sink);
+      }
+    };
+    for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+      const Cluster& cl = ctx.clusters[k];
+      const auto [x, y] = cluster_pos(k);
+      for (const std::size_t s : cl.slots) {
+        for (const auto& e : ctx.planes.slots[s].entries) {
+          if (std::find(e.use.contexts.begin(), e.use.contexts.end(), c) ==
+              e.use.contexts.end()) {
+            continue;
+          }
+          for (const std::size_t f : e.use.fanin_classes) {
+            add_sink(f, graph.in_pin(x, y, pin_of(cl, f)));
+          }
+        }
+      }
+    }
+    for (const auto& [name, drivers] : ctx.output_driver) {
+      if (drivers[c] == SIZE_MAX) {
+        continue;
+      }
+      add_sink(drivers[c],
+               graph.pad(ctx.placement.io_pads[ctx.output_terminals.at(name)]));
+    }
+    ctx.nets_per_context[c].reserve(by_driver.size());
+    for (auto& [cls, net] : by_driver) {
+      ctx.nets_per_context[c].push_back(std::move(net));
+    }
+  }
+
+  const route::Router router(graph, ctx.options.router);
+  ctx.routing = router.route(ctx.nets_per_context);
+  if (!ctx.routing.success) {
+    throw FlowError("routing failed to converge (congestion)");
+  }
+}
+
+// --- ProgramStage ------------------------------------------------------------
+
+void ProgramStage::run(FlowContext& ctx) const {
+  const std::size_t n = ctx.spec.num_contexts;
+  const arch::RoutingGraph& graph = *ctx.graph;
+  const auto cluster_pos = [&](std::size_t k) {
+    return ctx.placement.cluster_pos[k];
+  };
+
+  ctx.program.switch_patterns = ctx.routing.switch_patterns;
+  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+    const Cluster& cl = ctx.clusters[k];
+    const auto [x, y] = cluster_pos(k);
+    sim::LbConfig cfg;
+    cfg.x = x;
+    cfg.y = y;
+    cfg.mode = cl.mode;
+    cfg.outputs.resize(ctx.spec.logic_block.num_outputs);
+    for (const std::size_t s : cl.slots) {
+      auto& out = cfg.outputs[ctx.slot_output[s]];
+      out.used = true;
+      out.plane_tables.assign(cl.mode.planes,
+                              BitVector(std::size_t{1} << cl.mode.inputs));
+      for (const auto& e : ctx.planes.slots[s].entries) {
+        // Pin positions of the entry's fanins.
+        std::vector<std::size_t> pin(e.use.fanin_classes.size());
+        for (std::size_t i = 0; i < pin.size(); ++i) {
+          pin[i] = pin_of(cl, e.use.fanin_classes[i]);
+        }
+        BitVector table(std::size_t{1} << cl.mode.inputs);
+        for (std::size_t a = 0; a < table.size(); ++a) {
+          std::size_t address = 0;
+          for (std::size_t i = 0; i < pin.size(); ++i) {
+            if ((a >> pin[i]) & 1) {
+              address |= std::size_t{1} << i;
+            }
+          }
+          table.set(a, e.use.truth_table.get(address));
+        }
+        for (const std::size_t plane : e.planes) {
+          out.plane_tables[plane] = table;
+        }
+      }
+    }
+    ctx.program.lbs.push_back(std::move(cfg));
+  }
+  for (const auto& [name, term] : ctx.input_terminals) {
+    ctx.program.input_pads[name] = ctx.placement.io_pads[term];
+  }
+  for (const auto& [name, term] : ctx.output_terminals) {
+    ctx.program.output_pads[name] = ctx.placement.io_pads[term];
+  }
+
+  // Full-fabric bitstream: the routing rows come straight from the
+  // per-context switch patterns the router committed (no net re-scan).
+  ctx.full_bitstream = ctx.routing.to_bitstream(graph);
+  for (const auto& lb : ctx.program.lbs) {
+    const std::string prefix =
+        "lb(" + std::to_string(lb.x) + "," + std::to_string(lb.y) + ")";
+    for (std::size_t o = 0; o < lb.outputs.size(); ++o) {
+      if (!lb.outputs[o].used) {
+        continue;
+      }
+      const auto& tables = lb.outputs[o].plane_tables;
+      const std::size_t addresses = std::size_t{1} << lb.mode.inputs;
+      for (std::size_t a = 0; a < addresses; ++a) {
+        config::ContextPattern pattern(n);
+        for (std::size_t c = 0; c < n; ++c) {
+          pattern.set_value(c, tables[c & (lb.mode.planes - 1)].get(a));
+        }
+        ctx.full_bitstream.add_row(
+            prefix + ".out" + std::to_string(o) + "[" + std::to_string(a) +
+                "]",
+            config::ResourceKind::kLutBit, std::move(pattern));
+      }
+    }
+    // Mode (size-controller) bits: context-independent by definition.
+    const std::size_t mode_bits = config::num_id_bits(n);
+    const std::size_t planes_log =
+        static_cast<std::size_t>(std::log2(lb.mode.planes) + 0.5);
+    for (std::size_t b = 0; b < mode_bits; ++b) {
+      ctx.full_bitstream.add_row(
+          prefix + ".mode" + std::to_string(b),
+          config::ResourceKind::kControlBit,
+          config::ContextPattern(n, ((planes_log >> b) & 1) != 0));
+    }
+  }
+
+  // --- Timing & stats -------------------------------------------------------
+  // Timing node ids: one per SLOT (a slot has at most one active entry per
+  // context, so per-context it is a single timing node; clusters would
+  // alias independent slots into false cycles), then I/O terminals.
+  //
+  // All lookups the arc builder needs are precomputed once; the per-path
+  // work is pure index chasing (no slot/entry re-scan per connection).
+  const std::size_t num_nodes = ctx.planes.slots.size() + ctx.num_terminals;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> pos_cluster;
+  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+    pos_cluster[{cluster_pos(k).first, cluster_pos(k).second}] = k;
+  }
+  std::unordered_map<std::size_t, std::size_t> pad_terminal;  // pad -> term
+  for (std::size_t t = 0; t < ctx.placement.io_pads.size(); ++t) {
+    pad_terminal[ctx.placement.io_pads[t]] = t;
+  }
+  // cluster -> LB output index -> slot.
+  std::vector<std::vector<std::size_t>> output_slot(
+      ctx.clusters.size(),
+      std::vector<std::size_t>(ctx.spec.logic_block.num_outputs, SIZE_MAX));
+  for (std::size_t s = 0; s < ctx.planes.slots.size(); ++s) {
+    output_slot[ctx.slot_cluster[s]][ctx.slot_output[s]] = s;
+  }
+  // (cluster, pin, context) -> slots reading that pin in that context.
+  const auto reader_key = [n](std::size_t k, std::size_t pin, std::size_t c) {
+    return (static_cast<std::uint64_t>(k) << 32) |
+           (static_cast<std::uint64_t>(pin) * n + c);
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pin_readers;
+  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+    const Cluster& cl = ctx.clusters[k];
+    for (const std::size_t s : cl.slots) {
+      for (const auto& e : ctx.planes.slots[s].entries) {
+        for (std::size_t i = 0; i < e.use.fanin_classes.size(); ++i) {
+          const std::size_t f = e.use.fanin_classes[i];
+          // A repeated fanin contributes one read, not two.
+          if (std::find(e.use.fanin_classes.begin(),
+                        e.use.fanin_classes.begin() + i,
+                        f) != e.use.fanin_classes.begin() + i) {
+            continue;
+          }
+          const std::size_t pin = pin_of(cl, f);
+          for (const std::size_t c : e.use.contexts) {
+            pin_readers[reader_key(k, pin, c)].push_back(s);
+          }
+        }
+      }
+    }
+  }
+
+  ctx.context_stats.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<sim::TimingArc> arcs;
+    auto& stats = ctx.context_stats[c];
+    const route::ContextRouteSummary& summary = ctx.routing.context_summary[c];
+    stats.nets = summary.nets;
+    stats.wire_nodes_used = summary.wire_nodes_used;
+    stats.switches_crossed = summary.switches_crossed;
+    for (const auto& net : ctx.routing.nets[c]) {
+      const auto& src = graph.node(net.source);
+      std::size_t from;
+      if (src.kind == arch::NodeKind::kPad) {
+        from = ctx.planes.slots.size() +
+               pad_terminal.at(static_cast<std::size_t>(src.index));
+      } else {
+        const std::size_t k =
+            pos_cluster.at({static_cast<std::size_t>(src.x),
+                            static_cast<std::size_t>(src.y)});
+        const std::size_t s =
+            output_slot[k][static_cast<std::size_t>(src.index)];
+        MCFPGA_CHECK(s != SIZE_MAX, "no slot at cluster output");
+        from = s;
+      }
+      for (const auto& path : net.paths) {
+        const auto& snk = graph.node(path.sink);
+        if (snk.kind == arch::NodeKind::kPad) {
+          sim::TimingArc arc;
+          arc.from = from;
+          arc.switches = path.switch_count();
+          arc.to = ctx.planes.slots.size() +
+                   pad_terminal.at(static_cast<std::size_t>(snk.index));
+          arc.to_is_lut = false;
+          if (arc.from != arc.to) {
+            arcs.push_back(arc);
+          }
+          continue;
+        }
+        // In-pin: fan the arc out to every slot that reads this pin's
+        // signal in context c (precomputed above).
+        const std::size_t k =
+            pos_cluster.at({static_cast<std::size_t>(snk.x),
+                            static_cast<std::size_t>(snk.y)});
+        const auto it = pin_readers.find(
+            reader_key(k, static_cast<std::size_t>(snk.index), c));
+        if (it == pin_readers.end()) {
+          continue;
+        }
+        for (const std::size_t s : it->second) {
+          sim::TimingArc arc;
+          arc.from = from;
+          arc.to = s;
+          arc.switches = path.switch_count();
+          arc.to_is_lut = true;
+          if (arc.from != arc.to) {
+            arcs.push_back(arc);
+          }
+        }
+      }
+    }
+    stats.critical_path = sim::analyze_timing(num_nodes, arcs).critical_path;
+  }
+}
+
+// --- Pipeline driver ---------------------------------------------------------
+
+FlowContext make_flow_context(const netlist::MultiContextNetlist& netlist,
+                              const arch::FabricSpec& spec,
+                              const CompileOptions& options) {
+  netlist.validate();
+  FlowContext ctx;
+  ctx.input = &netlist;
+  ctx.spec = spec;
+  ctx.spec.validate();
+  ctx.options = options;
+  MCFPGA_REQUIRE(netlist.num_contexts() == ctx.spec.num_contexts,
+                 "netlist context count must match the fabric");
+  return ctx;
+}
+
+const std::vector<const Stage*>& default_pipeline() {
+  static const TechMapStage tech_map;
+  static const SharingStage sharing;
+  static const PlaneAllocStage plane_alloc;
+  static const ClusterStage cluster;
+  static const PlaceStage place;
+  static const RouteStage route;
+  static const ProgramStage program;
+  static const std::vector<const Stage*> stages = {
+      &tech_map, &sharing, &plane_alloc, &cluster, &place, &route, &program};
+  return stages;
+}
+
+void run_pipeline(FlowContext& ctx,
+                  const std::vector<const Stage*>& stages) {
+  using clock = std::chrono::steady_clock;
+  for (const Stage* stage : stages) {
+    const auto start = clock::now();
+    stage->run(ctx);
+    const std::chrono::duration<double> elapsed = clock::now() - start;
+    ctx.stage_timings.push_back(StageTiming{stage->name(), elapsed.count()});
+  }
+}
+
+CompiledDesign finalize_design(FlowContext&& ctx) {
+  CompiledDesign d;
+  d.fabric = ctx.spec;
+  d.netlist = std::move(ctx.netlist);
+  d.sharing = std::move(ctx.sharing);
+  d.planes = std::move(ctx.planes);
+  d.clusters = std::move(ctx.clusters);
+  d.slot_cluster = std::move(ctx.slot_cluster);
+  d.slot_output = std::move(ctx.slot_output);
+  d.placement = std::move(ctx.placement);
+  d.routing = std::move(ctx.routing);
+  d.program = std::move(ctx.program);
+  d.full_bitstream = std::move(ctx.full_bitstream);
+  d.context_stats = std::move(ctx.context_stats);
+  d.stage_timings = std::move(ctx.stage_timings);
+  d.input_terminals = std::move(ctx.input_terminals);
+  d.output_terminals = std::move(ctx.output_terminals);
+  return d;
+}
+
+}  // namespace mcfpga::core

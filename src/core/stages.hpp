@@ -1,0 +1,145 @@
+// Explicit stages of the compile pipeline.
+//
+// Each stage is a stateless object that reads and extends a FlowContext —
+// the single carrier of every intermediate artifact between the input
+// netlist and the programmed fabric.  compile() simply runs
+// default_pipeline() over a fresh context; tests, ablation benches, and
+// future batch compilers can instead run stages individually, swap one
+// out, or stop midway and inspect the artifacts.
+//
+// Stage order and contracts (each stage requires its predecessors ran):
+//   TechMapStage    -> ctx.netlist
+//   SharingStage    -> ctx.sharing, ctx.uses
+//   PlaneAllocStage -> ctx.planes
+//   ClusterStage    -> ctx.clusters, slot maps, I/O terminal tables
+//   PlaceStage      -> ctx.spec (auto-grown), ctx.graph, ctx.placement
+//   RouteStage      -> ctx.nets_per_context, ctx.routing
+//   ProgramStage    -> ctx.program, ctx.full_bitstream, ctx.context_stats
+//
+// run_pipeline() times every stage into ctx.stage_timings.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace mcfpga::core {
+
+/// Carries all intermediate artifacts of one compilation.
+struct FlowContext {
+  // --- inputs -------------------------------------------------------------
+  const netlist::MultiContextNetlist* input = nullptr;
+  arch::FabricSpec spec;  ///< Mutated by PlaceStage when auto-sizing.
+  CompileOptions options;
+
+  // --- TechMapStage -------------------------------------------------------
+  netlist::MultiContextNetlist netlist;  ///< Post tech-map.
+
+  // --- SharingStage -------------------------------------------------------
+  netlist::SharingAnalysis sharing;
+  std::vector<mapping::ClassUse> uses;
+
+  // --- PlaneAllocStage ----------------------------------------------------
+  mapping::PlaneAllocation planes;
+
+  // --- ClusterStage -------------------------------------------------------
+  std::vector<Cluster> clusters;
+  std::vector<std::size_t> slot_cluster;  ///< slot -> cluster.
+  std::vector<std::size_t> slot_output;   ///< slot -> LB output index.
+  /// Class id -> primary-input name, for input classes.
+  std::unordered_map<std::size_t, std::string> input_class_name;
+  /// Output name -> per-context driver class (SIZE_MAX = absent).
+  std::map<std::string, std::vector<std::size_t>> output_driver;
+  /// Input class -> I/O terminal index.
+  std::unordered_map<std::size_t, std::size_t> input_class_terminal;
+  std::map<std::string, std::size_t> input_terminals;
+  std::map<std::string, std::size_t> output_terminals;
+  std::size_t num_terminals = 0;
+
+  // --- PlaceStage ---------------------------------------------------------
+  std::unique_ptr<arch::RoutingGraph> graph;
+  place::Placement placement;
+
+  // --- RouteStage ---------------------------------------------------------
+  std::vector<std::vector<route::RouteNet>> nets_per_context;
+  route::RouteResult routing;
+
+  // --- ProgramStage -------------------------------------------------------
+  sim::FabricProgram program;
+  config::Bitstream full_bitstream;
+  std::vector<ContextStats> context_stats;
+
+  // --- bookkeeping --------------------------------------------------------
+  std::vector<StageTiming> stage_timings;
+};
+
+/// One pipeline stage.  Stages are stateless; all state lives in the
+/// FlowContext, so one stage instance serves any number of compilations.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual void run(FlowContext& ctx) const = 0;
+};
+
+class TechMapStage : public Stage {
+ public:
+  const char* name() const override { return "tech_map"; }
+  void run(FlowContext& ctx) const override;
+};
+
+class SharingStage : public Stage {
+ public:
+  const char* name() const override { return "sharing"; }
+  void run(FlowContext& ctx) const override;
+};
+
+class PlaneAllocStage : public Stage {
+ public:
+  const char* name() const override { return "plane_alloc"; }
+  void run(FlowContext& ctx) const override;
+};
+
+class ClusterStage : public Stage {
+ public:
+  const char* name() const override { return "cluster"; }
+  void run(FlowContext& ctx) const override;
+};
+
+class PlaceStage : public Stage {
+ public:
+  const char* name() const override { return "place"; }
+  void run(FlowContext& ctx) const override;
+};
+
+class RouteStage : public Stage {
+ public:
+  const char* name() const override { return "route"; }
+  void run(FlowContext& ctx) const override;
+};
+
+class ProgramStage : public Stage {
+ public:
+  const char* name() const override { return "program"; }
+  void run(FlowContext& ctx) const override;
+};
+
+/// Seeds a context from the flow inputs (validates both).
+FlowContext make_flow_context(const netlist::MultiContextNetlist& netlist,
+                              const arch::FabricSpec& spec,
+                              const CompileOptions& options);
+
+/// The standard seven-stage sequence, as static instances.
+const std::vector<const Stage*>& default_pipeline();
+
+/// Runs `stages` over `ctx` in order, appending one StageTiming each.
+void run_pipeline(FlowContext& ctx, const std::vector<const Stage*>& stages);
+
+/// Moves the finished artifacts out of `ctx` into a CompiledDesign.
+CompiledDesign finalize_design(FlowContext&& ctx);
+
+}  // namespace mcfpga::core

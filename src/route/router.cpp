@@ -1,50 +1,32 @@
 #include "route/router.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <queue>
+#include <atomic>
+#include <exception>
+#include <system_error>
+#include <thread>
 
 #include "common/error.hpp"
+#include "route/router_core.hpp"
 
 namespace mcfpga::route {
 
 namespace {
 
 using arch::EdgeId;
-using arch::kInvalidNode;
-using arch::NodeId;
-using arch::NodeKind;
-using arch::RoutingGraph;
-using arch::SwitchOwner;
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Per-context routing state for PathFinder.
-struct ContextState {
-  std::vector<int> occupancy;       // nets currently using each node
-  std::vector<double> history;      // accumulated congestion history
-  double present_factor = 0.5;
-};
-
-/// Base cost of occupying a node.  Double-length wires cover two cells for
-/// one node, so per-distance they are cheaper; pricing them at 1.9 when
-/// disabled-by-preference keeps them routable but unattractive.
-double base_cost(const RoutingGraph& graph, NodeId node, bool prefer_dl) {
-  const auto& n = graph.node(node);
-  if (n.kind != NodeKind::kWire) {
-    return 0.5;  // pins/pads: cheap, they are endpoints
+/// Effective worker count: never more than the context count, at least one.
+std::size_t effective_threads(const RouterOptions& options,
+                              std::size_t num_contexts) {
+  std::size_t n = options.num_threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) {
+      n = 1;
+    }
   }
-  if (n.length == 2) {
-    return prefer_dl ? 1.0 : 3.5;
-  }
-  return 1.0;
+  return std::max<std::size_t>(1, std::min(n, num_contexts));
 }
-
-struct QueueItem {
-  double cost;
-  NodeId node;
-  bool operator>(const QueueItem& o) const { return cost > o.cost; }
-};
 
 }  // namespace
 
@@ -79,165 +61,81 @@ RouteResult Router::route(
   MCFPGA_REQUIRE(nets_per_context.size() == num_contexts,
                  "net list must cover every context");
 
-  RouteResult result;
-  result.nets.resize(num_contexts);
-  result.switch_patterns.assign(
-      graph_.num_switches(),
-      config::ContextPattern(num_contexts, false));
-  result.success = true;
+  std::vector<RouterCore::ContextResult> per_context(num_contexts);
+  std::vector<std::exception_ptr> errors(num_contexts);
 
-  for (std::size_t c = 0; c < num_contexts; ++c) {
-    const auto& nets = nets_per_context[c];
-    ContextState st;
-    st.occupancy.assign(graph_.num_nodes(), 0);
-    st.history.assign(graph_.num_nodes(), 0.0);
-
-    // Current routing per net: tree nodes + per-sink paths.
-    std::vector<RoutedNet> routed(nets.size());
-    std::vector<std::vector<NodeId>> tree_nodes(nets.size());
-
-    const auto unroute = [&](std::size_t i) {
-      for (const NodeId n : tree_nodes[i]) {
-        --st.occupancy[static_cast<std::size_t>(n)];
+  const std::size_t workers = effective_threads(options_, num_contexts);
+  if (workers <= 1) {
+    RouterCore core(graph_, options_);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      per_context[c] = core.route_context(nets_per_context[c]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto work = [&]() {
+      RouterCore core(graph_, options_);
+      for (;;) {
+        const std::size_t c = next.fetch_add(1);
+        if (c >= num_contexts) {
+          break;
+        }
+        try {
+          per_context[c] = core.route_context(nets_per_context[c]);
+        } catch (...) {
+          errors[c] = std::current_exception();
+        }
       }
-      tree_nodes[i].clear();
-      routed[i].paths.clear();
     };
-
-    const auto node_cost = [&](NodeId n) {
-      const std::size_t idx = static_cast<std::size_t>(n);
-      const double congestion =
-          1.0 + st.history[idx] +
-          st.present_factor * static_cast<double>(st.occupancy[idx]);
-      return base_cost(graph_, n, options_.prefer_double_length) * congestion;
-    };
-
-    bool converged = false;
-    std::size_t iter = 0;
-    for (; iter < options_.max_iterations; ++iter) {
-      for (std::size_t i = 0; i < nets.size(); ++i) {
-        const RouteNet& net = nets[i];
-        if (!tree_nodes[i].empty()) {
-          unroute(i);
-        }
-        routed[i].name = net.name;
-        routed[i].source = net.source;
-
-        // Grow the routing tree sink by sink (Prim-style maze expansion).
-        std::vector<NodeId> tree = {net.source};
-        std::vector<double> dist(graph_.num_nodes(), kInf);
-        std::vector<EdgeId> prev(graph_.num_nodes(), -1);
-
-        for (const NodeId sink : net.sinks) {
-          std::priority_queue<QueueItem, std::vector<QueueItem>,
-                              std::greater<QueueItem>>
-              pq;
-          std::fill(dist.begin(), dist.end(), kInf);
-          std::fill(prev.begin(), prev.end(), -1);
-          for (const NodeId t : tree) {
-            dist[static_cast<std::size_t>(t)] = 0.0;
-            pq.push(QueueItem{0.0, t});
-          }
-          bool found = false;
-          while (!pq.empty()) {
-            const QueueItem item = pq.top();
-            pq.pop();
-            const std::size_t u = static_cast<std::size_t>(item.node);
-            if (item.cost > dist[u]) {
-              continue;
-            }
-            if (item.node == sink) {
-              found = true;
-              break;
-            }
-            // Pins and pads are terminals: do not route THROUGH them.
-            const auto& un = graph_.node(item.node);
-            if (un.kind != NodeKind::kWire && item.cost != 0.0) {
-              continue;
-            }
-            for (const EdgeId e : graph_.fanout(item.node)) {
-              const auto& edge = graph_.edge(e);
-              const NodeId v = edge.to;
-              const auto& vn = graph_.node(v);
-              // Only the target sink may be entered among non-wire nodes.
-              if (vn.kind != NodeKind::kWire && v != sink) {
-                continue;
-              }
-              const double nd = item.cost + node_cost(v);
-              if (nd < dist[static_cast<std::size_t>(v)]) {
-                dist[static_cast<std::size_t>(v)] = nd;
-                prev[static_cast<std::size_t>(v)] = e;
-                pq.push(QueueItem{nd, v});
-              }
-            }
-          }
-          if (!found) {
-            throw FlowError("router: no physical path from " +
-                            graph_.node(net.source).name + " to " +
-                            graph_.node(sink).name);
-          }
-          // Back-trace; add new nodes to the tree.
-          RoutedPath path;
-          path.sink = sink;
-          NodeId cur = sink;
-          while (prev[static_cast<std::size_t>(cur)] != -1) {
-            const EdgeId e = prev[static_cast<std::size_t>(cur)];
-            path.edges.push_back(e);
-            if (graph_.rr_switch(graph_.edge(e).sw).owner ==
-                SwitchOwner::kDiamond) {
-              ++path.diamond_count;
-            }
-            cur = graph_.edge(e).from;
-          }
-          std::reverse(path.edges.begin(), path.edges.end());
-          for (const EdgeId e : path.edges) {
-            const NodeId v = graph_.edge(e).to;
-            if (std::find(tree.begin(), tree.end(), v) == tree.end()) {
-              tree.push_back(v);
-            }
-          }
-          routed[i].paths.push_back(std::move(path));
-        }
-
-        tree_nodes[i] = tree;
-        for (const NodeId n : tree) {
-          ++st.occupancy[static_cast<std::size_t>(n)];
-        }
-      }
-
-      // Congestion check: wires may carry one net per context; source pins
-      // are naturally exclusive; sink pins may be reached by one net only.
-      bool overused = false;
-      for (std::size_t n = 0; n < graph_.num_nodes(); ++n) {
-        if (st.occupancy[n] > 1) {
-          overused = true;
-          st.history[n] += options_.history_increment *
-                           static_cast<double>(st.occupancy[n] - 1);
-        }
-      }
-      if (!overused) {
-        converged = true;
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      try {
+        pool.emplace_back(work);
+      } catch (const std::system_error&) {
+        // Thread creation failed (resource exhaustion).  The shared queue
+        // still drains fully on the caller + already-started workers, so
+        // degrade instead of unwinding past joinable threads.
         break;
       }
-      st.present_factor *= options_.present_factor_growth;
     }
+    work();
+    for (auto& t : pool) {
+      t.join();
+    }
+    // Re-raise in context order (matches what serial routing would hit
+    // first).
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      if (errors[c]) {
+        std::rethrow_exception(errors[c]);
+      }
+    }
+  }
 
-    result.iterations = std::max(result.iterations, iter + 1);
-    if (!converged) {
+  // Deterministic merge: contexts in order, independent of worker timing.
+  RouteResult result;
+  result.success = true;
+  result.nets.resize(num_contexts);
+  result.context_summary.resize(num_contexts);
+  result.switch_patterns.assign(graph_.num_switches(),
+                                config::ContextPattern(num_contexts, false));
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    RouterCore::ContextResult& ctx = per_context[c];
+    result.iterations = std::max(result.iterations, ctx.iterations);
+    if (!ctx.converged) {
       result.success = false;
     }
-
-    // Commit switch patterns for this context.
-    for (const auto& net : routed) {
+    for (const auto& net : ctx.nets) {
       for (const auto& path : net.paths) {
         for (const EdgeId e : path.edges) {
-          result.switch_patterns[static_cast<std::size_t>(
-                                     graph_.edge(e).sw)]
+          result.switch_patterns[static_cast<std::size_t>(graph_.edge(e).sw)]
               .set_value(c, true);
         }
       }
     }
-    result.nets[c] = std::move(routed);
+    result.context_summary[c].nets = ctx.nets.size();
+    result.context_summary[c].wire_nodes_used = ctx.wire_nodes_used;
+    result.context_summary[c].switches_crossed = ctx.switches_crossed;
+    result.nets[c] = std::move(ctx.nets);
   }
   return result;
 }

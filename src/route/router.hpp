@@ -8,6 +8,11 @@
 // node costs inflated by present congestion and accumulated history until
 // no wire is shared.
 //
+// The per-context engine lives in route/router_core.hpp (RouterCore, with
+// preallocated scratch over the graph's flat CSR adjacency); Router::route
+// fans contexts out over a small worker pool and merges results in context
+// order, so parallel output is bit-identical to serial.
+//
 // Delay accounting follows the paper's SE model: every switch crossed
 // costs one SE delay, so a straight run of L cells costs L switches on
 // single-length wires but only ceil(L/2) diamond crossings on
@@ -56,6 +61,19 @@ struct RouterOptions {
   double history_increment = 1.0;
   /// When false, double-length wires are priced off the table (E5 ablation).
   bool prefer_double_length = true;
+  /// Worker threads for per-context routing.  0 = one per hardware thread
+  /// (capped at the context count); 1 = serial.  Results are bit-identical
+  /// regardless of the value: contexts are independent and merged in
+  /// context order.
+  std::size_t num_threads = 0;
+};
+
+/// Per-context aggregates collected while committing routed paths, so
+/// downstream stats never re-scan every net.
+struct ContextRouteSummary {
+  std::size_t nets = 0;
+  std::size_t wire_nodes_used = 0;
+  std::size_t switches_crossed = 0;  ///< Sum over all sink connections.
 };
 
 struct RouteResult {
@@ -65,6 +83,8 @@ struct RouteResult {
   std::vector<std::vector<RoutedNet>> nets;
   /// Per-switch on/off pattern across contexts (indexed by SwitchId).
   std::vector<config::ContextPattern> switch_patterns;
+  /// One summary per context, filled during the routing commit.
+  std::vector<ContextRouteSummary> context_summary;
 
   /// Worst switch count over all sink connections of one context.
   std::size_t critical_switches(std::size_t context) const;

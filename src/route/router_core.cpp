@@ -1,0 +1,222 @@
+#include "route/router_core.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mcfpga::route {
+
+namespace {
+
+using arch::EdgeId;
+using arch::NodeId;
+using arch::NodeKind;
+using arch::SwitchOwner;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+RouterCore::RouterCore(const arch::RoutingGraph& graph,
+                       const RouterOptions& options)
+    : graph_(graph), options_(options) {
+  const std::size_t n = graph_.num_nodes();
+  base_cost_.resize(n);
+  is_wire_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& node = graph_.node(static_cast<NodeId>(i));
+    is_wire_[i] = node.kind == NodeKind::kWire ? 1 : 0;
+    // Double-length wires cover two cells for one node, so per-distance
+    // they are cheaper; pricing them at 3.5 when disabled-by-preference
+    // keeps them routable but unattractive (the E5 ablation).
+    if (node.kind != NodeKind::kWire) {
+      base_cost_[i] = 0.5;  // pins/pads: cheap, they are endpoints
+    } else if (node.length == 2) {
+      base_cost_[i] = options_.prefer_double_length ? 1.0 : 3.5;
+    } else {
+      base_cost_[i] = 1.0;
+    }
+  }
+  occupancy_.resize(n);
+  history_.resize(n);
+  dist_.resize(n);
+  prev_.resize(n);
+  dist_epoch_.assign(n, 0);
+  in_tree_epoch_.assign(n, 0);
+}
+
+void RouterCore::heap_push(double cost, NodeId node) {
+  heap_.push_back(HeapItem{cost, node});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapItem& a, const HeapItem& b) {
+                   return a.cost > b.cost;
+                 });
+}
+
+RouterCore::HeapItem RouterCore::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const HeapItem& a, const HeapItem& b) {
+                  return a.cost > b.cost;
+                });
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  return item;
+}
+
+double RouterCore::dist_of(std::size_t node) const {
+  return dist_epoch_[node] == epoch_ ? dist_[node] : kInf;
+}
+
+RouterCore::ContextResult RouterCore::route_context(
+    const std::vector<RouteNet>& nets) {
+  const std::size_t num_nodes = graph_.num_nodes();
+  std::fill(occupancy_.begin(), occupancy_.end(), 0);
+  std::fill(history_.begin(), history_.end(), 0.0);
+  double present_factor = 0.5;
+
+  const std::vector<std::size_t>& offsets = graph_.csr_offsets();
+  const std::vector<EdgeId>& csr_edges = graph_.csr_edges();
+  const std::vector<NodeId>& csr_targets = graph_.csr_targets();
+
+  ContextResult result;
+  result.nets.resize(nets.size());
+  std::vector<std::vector<NodeId>> tree_nodes(nets.size());
+
+  const auto unroute = [&](std::size_t i) {
+    for (const NodeId n : tree_nodes[i]) {
+      --occupancy_[static_cast<std::size_t>(n)];
+    }
+    tree_nodes[i].clear();
+    result.nets[i].paths.clear();
+  };
+
+  const auto node_cost = [&](std::size_t idx) {
+    const double congestion =
+        1.0 + history_[idx] +
+        present_factor * static_cast<double>(occupancy_[idx]);
+    return base_cost_[idx] * congestion;
+  };
+
+  bool converged = false;
+  std::size_t iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const RouteNet& net = nets[i];
+      if (!tree_nodes[i].empty()) {
+        unroute(i);
+      }
+      result.nets[i].name = net.name;
+      result.nets[i].source = net.source;
+
+      // Grow the routing tree sink by sink (Prim-style maze expansion).
+      std::vector<NodeId>& tree = tree_nodes[i];
+      tree.push_back(net.source);
+      ++tree_epoch_;
+      in_tree_epoch_[static_cast<std::size_t>(net.source)] = tree_epoch_;
+
+      for (const NodeId sink : net.sinks) {
+        ++epoch_;
+        heap_.clear();
+        for (const NodeId t : tree) {
+          const std::size_t ti = static_cast<std::size_t>(t);
+          dist_[ti] = 0.0;
+          prev_[ti] = -1;
+          dist_epoch_[ti] = epoch_;
+          heap_push(0.0, t);
+        }
+        bool found = false;
+        while (!heap_.empty()) {
+          const HeapItem item = heap_pop();
+          const std::size_t u = static_cast<std::size_t>(item.node);
+          if (item.cost > dist_of(u)) {
+            continue;
+          }
+          if (item.node == sink) {
+            found = true;
+            break;
+          }
+          // Pins and pads are terminals: do not route THROUGH them.
+          if (is_wire_[u] == 0 && item.cost != 0.0) {
+            continue;
+          }
+          const std::size_t end = offsets[u + 1];
+          for (std::size_t at = offsets[u]; at < end; ++at) {
+            const NodeId v = csr_targets[at];
+            const std::size_t vi = static_cast<std::size_t>(v);
+            // Only the target sink may be entered among non-wire nodes.
+            if (is_wire_[vi] == 0 && v != sink) {
+              continue;
+            }
+            const double nd = item.cost + node_cost(vi);
+            if (nd < dist_of(vi)) {
+              dist_[vi] = nd;
+              prev_[vi] = csr_edges[at];
+              dist_epoch_[vi] = epoch_;
+              heap_push(nd, v);
+            }
+          }
+        }
+        if (!found) {
+          throw FlowError("router: no physical path from " +
+                          graph_.node(net.source).name + " to " +
+                          graph_.node(sink).name);
+        }
+        // Back-trace; add new nodes to the tree.
+        RoutedPath path;
+        path.sink = sink;
+        NodeId cur = sink;
+        while (prev_[static_cast<std::size_t>(cur)] != -1) {
+          const EdgeId e = prev_[static_cast<std::size_t>(cur)];
+          path.edges.push_back(e);
+          if (graph_.rr_switch(graph_.edge(e).sw).owner ==
+              SwitchOwner::kDiamond) {
+            ++path.diamond_count;
+          }
+          cur = graph_.edge(e).from;
+        }
+        std::reverse(path.edges.begin(), path.edges.end());
+        for (const EdgeId e : path.edges) {
+          const NodeId v = graph_.edge(e).to;
+          if (in_tree_epoch_[static_cast<std::size_t>(v)] != tree_epoch_) {
+            in_tree_epoch_[static_cast<std::size_t>(v)] = tree_epoch_;
+            tree.push_back(v);
+          }
+        }
+        result.nets[i].paths.push_back(std::move(path));
+      }
+
+      for (const NodeId n : tree) {
+        ++occupancy_[static_cast<std::size_t>(n)];
+      }
+    }
+
+    // Congestion check: wires may carry one net per context; source pins
+    // are naturally exclusive; sink pins may be reached by one net only.
+    bool overused = false;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      if (occupancy_[n] > 1) {
+        overused = true;
+        history_[n] += options_.history_increment *
+                       static_cast<double>(occupancy_[n] - 1);
+      }
+    }
+    if (!overused) {
+      converged = true;
+      break;
+    }
+    present_factor *= options_.present_factor_growth;
+  }
+
+  result.iterations = iter + 1;
+  result.converged = converged;
+  for (const auto& net : result.nets) {
+    for (const auto& path : net.paths) {
+      result.switches_crossed += path.switch_count();
+      result.wire_nodes_used += path.edges.size();
+    }
+  }
+  return result;
+}
+
+}  // namespace mcfpga::route

@@ -1,0 +1,78 @@
+// Reusable per-context PathFinder engine.
+//
+// A RouterCore owns all scratch state one context's negotiation needs —
+// cost/history/occupancy arrays, the Dijkstra heap, epoch-stamped
+// distance/visited marks — preallocated once per routing-graph size and
+// reset cheaply between contexts.  Contexts are independent (a physical
+// wire carries a different signal in every context), so Router::route can
+// run one RouterCore per worker thread and merge the per-context results
+// in context order; the merged RouteResult is bit-identical to routing the
+// contexts serially.
+//
+// The hot loop walks the graph's flat CSR arrays (RoutingGraph::csr_*)
+// instead of chasing per-node edge vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/routing_graph.hpp"
+#include "route/router.hpp"
+
+namespace mcfpga::route {
+
+class RouterCore {
+ public:
+  /// Result of routing one context.
+  struct ContextResult {
+    std::vector<RoutedNet> nets;
+    std::size_t iterations = 0;  ///< PathFinder iterations consumed.
+    bool converged = false;      ///< False = congestion never resolved.
+    /// Aggregates over all sink connections (feeds ContextStats without a
+    /// post-hoc re-scan of every net).
+    std::size_t wire_nodes_used = 0;
+    std::size_t switches_crossed = 0;
+  };
+
+  RouterCore(const arch::RoutingGraph& graph, const RouterOptions& options);
+
+  /// Routes one context's nets.  Throws FlowError when a net has no
+  /// physical path at all; returns converged=false when congestion cannot
+  /// be negotiated away within options.max_iterations.
+  ContextResult route_context(const std::vector<RouteNet>& nets);
+
+ private:
+  struct HeapItem {
+    double cost;
+    arch::NodeId node;
+  };
+
+  void heap_push(double cost, arch::NodeId node);
+  HeapItem heap_pop();
+
+  /// Distance of `node` in the current Dijkstra epoch (infinity if untouched).
+  double dist_of(std::size_t node) const;
+
+  const arch::RoutingGraph& graph_;
+  RouterOptions options_;
+
+  // Graph-shaped constants, precomputed once.
+  std::vector<double> base_cost_;  ///< Per-node occupancy cost.
+  std::vector<std::uint8_t> is_wire_;
+
+  // Negotiation state, reset per context.
+  std::vector<int> occupancy_;
+  std::vector<double> history_;
+
+  // Dijkstra scratch, epoch-stamped so resets are O(touched).
+  std::vector<double> dist_;
+  std::vector<arch::EdgeId> prev_;
+  std::vector<std::uint32_t> dist_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> in_tree_epoch_;
+  std::uint32_t tree_epoch_ = 0;
+  std::vector<HeapItem> heap_;
+};
+
+}  // namespace mcfpga::route

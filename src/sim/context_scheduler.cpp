@@ -20,6 +20,9 @@ ContextScheduler::ContextScheduler(std::size_t num_contexts,
 }
 
 std::size_t ContextScheduler::context_at(std::size_t cycle) const {
+  // The constructor guarantees a non-empty order, but a moved-from or
+  // otherwise corrupted scheduler must not divide by zero.
+  MCFPGA_CHECK(!order_.empty(), "scheduler has an empty context order");
   return order_[cycle % order_.size()];
 }
 

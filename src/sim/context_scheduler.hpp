@@ -20,7 +20,9 @@ struct ScheduleStats {
   std::size_t context_switches = 0;
   /// Total configuration bits that toggled over all switches performed.
   std::size_t bits_toggled = 0;
-  /// Average toggled bits per switch.
+  /// Average toggled bits per switch; 0.0 when no switch ever happened
+  /// (zero cycles, a single context, or a constant schedule) rather than a
+  /// division by zero.
   double avg_bits_per_switch() const {
     return context_switches == 0
                ? 0.0
@@ -31,13 +33,16 @@ struct ScheduleStats {
 
 class ContextScheduler {
  public:
-  /// Round-robin over all contexts when `order` is empty.
+  /// Round-robin over all contexts when `order` is empty (including an
+  /// explicitly passed empty vector).  Throws InvalidArgument for zero
+  /// contexts or an order entry out of range.
   explicit ContextScheduler(std::size_t num_contexts,
                             std::vector<std::size_t> order = {});
 
   std::size_t num_contexts() const { return num_contexts_; }
   const std::vector<std::size_t>& order() const { return order_; }
-  /// Context active in a given cycle.
+  /// Context active in a given cycle.  The order is never empty after
+  /// construction, so this is total over all cycle values.
   std::size_t context_at(std::size_t cycle) const;
 
   /// Simulates `cycles` cycles of rotation over `bitstream` and counts the

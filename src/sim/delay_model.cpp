@@ -9,14 +9,25 @@ namespace mcfpga::sim {
 TimingReport analyze_timing(std::size_t num_nodes,
                             const std::vector<TimingArc>& arcs,
                             const DelayParams& params) {
+  // Flat CSR adjacency (counting sort over arcs, stable in arc order) —
+  // one contiguous allocation instead of a vector per node.
   std::vector<std::size_t> indegree(num_nodes, 0);
-  std::vector<std::vector<std::size_t>> fanout(num_nodes);
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    const auto& a = arcs[i];
+  std::vector<std::size_t> offsets(num_nodes + 1, 0);
+  for (const auto& a : arcs) {
     MCFPGA_REQUIRE(a.from < num_nodes && a.to < num_nodes,
                    "timing arc endpoint out of range");
     ++indegree[a.to];
-    fanout[a.from].push_back(i);
+    ++offsets[a.from + 1];
+  }
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    offsets[n + 1] += offsets[n];
+  }
+  std::vector<std::size_t> arc_of(arcs.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      arc_of[cursor[arcs[i].from]++] = i;
+    }
   }
 
   TimingReport report;
@@ -35,8 +46,8 @@ TimingReport analyze_timing(std::size_t num_nodes,
     const std::size_t u = ready.back();
     ready.pop_back();
     ++processed;
-    for (const std::size_t ai : fanout[u]) {
-      const auto& a = arcs[ai];
+    for (std::size_t at = offsets[u]; at < offsets[u + 1]; ++at) {
+      const auto& a = arcs[arc_of[at]];
       const double t = report.arrival[u] +
                        params.se_delay * static_cast<double>(a.switches) +
                        (a.to_is_lut ? params.lut_delay : 0.0);

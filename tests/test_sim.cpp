@@ -208,5 +208,44 @@ TEST(ContextScheduler, SingleCycleNoSwitches) {
   EXPECT_EQ(stats.context_switches, 0u);
 }
 
+TEST(ContextScheduler, ZeroContextsRejected) {
+  EXPECT_THROW(ContextScheduler(0), InvalidArgument);
+  EXPECT_THROW(ContextScheduler(0, {}), InvalidArgument);
+}
+
+TEST(ContextScheduler, ExplicitEmptyOrderDefaultsToRoundRobin) {
+  const ContextScheduler sched(3, std::vector<std::size_t>{});
+  EXPECT_EQ(sched.order(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(sched.context_at(0), 0u);
+  EXPECT_EQ(sched.context_at(4), 1u);
+}
+
+TEST(ContextScheduler, ConstantScheduleNeverSwitches) {
+  config::Bitstream bs(2);
+  bs.add_row("r", config::ResourceKind::kRoutingSwitch,
+             config::ContextPattern::from_string("01"));
+  const ContextScheduler sched(2, {0, 0});
+  const auto stats = sched.run(bs, 100);
+  EXPECT_EQ(stats.context_switches, 0u);
+  EXPECT_EQ(stats.bits_toggled, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_bits_per_switch(), 0.0);
+}
+
+TEST(ContextScheduler, ZeroCyclesIsClean) {
+  const ContextScheduler sched(4);
+  const auto stats = sched.run(config::Bitstream(4), 0);
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_EQ(stats.context_switches, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_bits_per_switch(), 0.0);
+}
+
+TEST(ScheduleStats, AvgBitsPerSwitchNoSwitchesIsZero) {
+  ScheduleStats stats;
+  stats.bits_toggled = 42;  // inconsistent on purpose: still no div-by-zero
+  EXPECT_DOUBLE_EQ(stats.avg_bits_per_switch(), 0.0);
+  stats.context_switches = 4;
+  EXPECT_DOUBLE_EQ(stats.avg_bits_per_switch(), 10.5);
+}
+
 }  // namespace
 }  // namespace mcfpga::sim
