@@ -2,8 +2,13 @@
 // placement, routing, timing, functional verification (fabric simulator vs
 // netlist reference), the per-design area comparison, per-stage pipeline
 // timings, and serial-vs-parallel routing wall clock.
+//
+// Pass --smoke for a reduced CI-sized run.  Each compiled workload prints
+// one BENCH_JSON measurement line (see bench_json.hpp).
+#include <cstring>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/mcfpga.hpp"
@@ -25,7 +30,11 @@ netlist::MultiContextNetlist replicated(const netlist::Dfg& dfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke |= std::strcmp(argv[i], "--smoke") == 0;
+  }
   std::cout << "=== E10: end-to-end flow on the workload suite ===\n\n";
 
   struct Workload {
@@ -35,10 +44,12 @@ int main() {
   std::vector<Workload> workloads;
   workloads.push_back({"adder4 x4ctx", replicated(
                                             workload::ripple_carry_adder(4))});
-  workloads.push_back({"mult3 x4ctx",
-                       replicated(workload::array_multiplier(3))});
+  if (!smoke) {
+    workloads.push_back({"mult3 x4ctx",
+                         replicated(workload::array_multiplier(3))});
+  }
   workloads.push_back({"pipeline(4,8)", workload::pipeline_workload(4, 8)});
-  {
+  if (!smoke) {
     netlist::MultiContextNetlist mixed(4);
     mixed.context(0) = workload::ripple_carry_adder(3);
     mixed.context(1) = workload::comparator(5);
@@ -46,7 +57,7 @@ int main() {
     mixed.context(3) = workload::crc_step(6, 0b000011);
     workloads.push_back({"heterogeneous", std::move(mixed)});
   }
-  {
+  if (!smoke) {
     workload::RandomMultiContextParams params;
     params.base.num_inputs = 8;
     params.base.num_nodes = 24;
@@ -72,6 +83,15 @@ int main() {
     for (const auto& s : d.context_stats) {
       worst = std::max(worst, s.critical_path);
     }
+    double compile_ms = 0.0;
+    for (const auto& st : d.stage_timings) {
+      // Dotted names are overlapping sub-timings (e.g. place.restartN).
+      if (st.name.find('.') == std::string::npos) {
+        compile_ms += st.seconds * 1e3;
+      }
+    }
+    bench::json_line("flow_" + w.name, d.netlist.total_lut_ops(), compile_ms,
+                     worst);
     const std::size_t mismatches = chip.verify(16, 99);
     t.add_row({w.name, fmt_count(d.netlist.total_lut_ops()),
                fmt_count(d.sharing.merged_lut_ops()),
@@ -95,7 +115,7 @@ int main() {
     arch::FabricSpec spec;
   };
   std::vector<TimedWorkload> timed;
-  {
+  if (!smoke) {
     arch::FabricSpec big = spec;
     big.width = 6;
     big.height = 6;
@@ -141,10 +161,16 @@ int main() {
     st.print(std::cout);
     std::cout << "routing speedup (serial / parallel): "
               << fmt_double(serial_route / parallel_route, 2) << "x\n\n";
+    bench::json_line("route_serial_" + w.name, w.nl.num_contexts(),
+                     serial_route * 1e3, 0.0);
+    bench::json_line("route_parallel_" + w.name, w.nl.num_contexts(),
+                     parallel_route * 1e3, 0.0);
   }
 
-  // Detailed report for one design.
-  const core::MCFPGA chip(workload::pipeline_workload(4, 6), spec);
-  core::print_design_report(std::cout, chip.design());
+  if (!smoke) {
+    // Detailed report for one design.
+    const core::MCFPGA chip(workload::pipeline_workload(4, 6), spec);
+    core::print_design_report(std::cout, chip.design());
+  }
   return 0;
 }

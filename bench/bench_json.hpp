@@ -1,0 +1,27 @@
+// One machine-readable JSON line per bench measurement, so CI runs can
+// populate the BENCH_*.json trajectory by grepping bench stdout for lines
+// starting with "BENCH_JSON ".
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mcfpga::bench {
+
+/// Emits: BENCH_JSON {"name":"...","size":N,"wall_ms":X,"cost":Y}
+/// plus any extra pre-rendered JSON fields (e.g. R"("moves_per_sec":123)").
+inline void json_line(const std::string& name, std::size_t size,
+                      double wall_ms, double cost,
+                      const std::string& extra = "") {
+  std::ostringstream os;
+  os << "BENCH_JSON {\"name\":\"" << name << "\",\"size\":" << size
+     << ",\"wall_ms\":" << wall_ms << ",\"cost\":" << cost;
+  if (!extra.empty()) {
+    os << ',' << extra;
+  }
+  os << '}';
+  std::cout << os.str() << '\n';
+}
+
+}  // namespace mcfpga::bench

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Single CI entry point: configure, build src/ with warnings-as-errors,
-# build tests/benches/examples, and run the test suite.
+# build tests/benches/examples, run the test suite, and smoke the perf
+# benches at tiny sizes so the hot paths are exercised, not just compiled.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -euo pipefail
@@ -11,3 +12,7 @@ BUILD_DIR="${1:-build-check}"
 cmake -B "$BUILD_DIR" -S . -DMCFPGA_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "--- bench smoke runs ---"
+"$BUILD_DIR"/bench_placer --smoke
+"$BUILD_DIR"/bench_flow_end2end --smoke

@@ -40,6 +40,7 @@ namespace mcfpga::core {
 
 struct CompileOptions {
   std::uint64_t seed = 1;
+  /// Placement knobs; placer.seed left at kSeedFromFlow inherits `seed`.
   place::PlacerOptions placer{};
   route::RouterOptions router{};
   /// Grow the fabric (square-ish) until clusters and I/O fit.
@@ -61,7 +62,10 @@ struct ContextStats {
   double critical_path = 0.0;        ///< From the SE delay model.
 };
 
-/// Wall-clock of one pipeline stage (filled by run_pipeline).
+/// Wall-clock of one pipeline stage (filled by run_pipeline).  Names
+/// containing a '.' (e.g. "place.restart0") are informational
+/// sub-timings that overlap their parent stage — skip them when summing
+/// entries into a total wall clock.
 struct StageTiming {
   std::string name;
   double seconds = 0.0;

@@ -273,8 +273,19 @@ void PlaceStage::run(FlowContext& ctx) const {
     }
   }
   place::PlacerOptions placer_options = ctx.options.placer;
-  placer_options.seed = ctx.options.seed;
+  // Default the placer seed from the flow seed only when the caller left it
+  // unset, so placement can be varied independently of the rest of the flow.
+  if (placer_options.seed == place::PlacerOptions::kSeedFromFlow) {
+    placer_options.seed = ctx.options.seed;
+  }
   ctx.placement = place::place(prob, *ctx.graph, placer_options);
+  if (ctx.placement.restart_stats.size() > 1) {
+    for (std::size_t r = 0; r < ctx.placement.restart_stats.size(); ++r) {
+      ctx.stage_timings.push_back(
+          StageTiming{"place.restart" + std::to_string(r),
+                      ctx.placement.restart_stats[r].seconds});
+    }
+  }
 }
 
 // --- RouteStage --------------------------------------------------------------

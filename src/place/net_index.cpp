@@ -1,0 +1,249 @@
+#include "place/net_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mcfpga::place {
+
+NetIndex::NetIndex(const PlacementProblem& problem) {
+  num_clusters_ = problem.num_clusters;
+  const std::size_t terms = problem.num_clusters + problem.num_io_terminals;
+  const std::size_t nets = problem.nets.size();
+
+  net_weight_.resize(nets);
+  net_offset_.assign(nets + 1, 0);
+  for (std::size_t n = 0; n < nets; ++n) {
+    // Raw weight, zero included — placement_cost() is the oracle and a
+    // zero-weight net must stay free here too.
+    net_weight_[n] = static_cast<std::int64_t>(problem.nets[n].weight);
+    net_offset_[n + 1] = net_offset_[n] +
+                         static_cast<std::uint32_t>(1 + problem.nets[n].sinks.size());
+  }
+  net_terms_.resize(net_offset_[nets]);
+  for (std::size_t n = 0; n < nets; ++n) {
+    std::uint32_t* out = net_terms_.data() + net_offset_[n];
+    *out++ = terminal_id(problem.nets[n].driver);
+    for (const Terminal& s : problem.nets[n].sinks) {
+      *out++ = terminal_id(s);
+    }
+  }
+
+  // Terminal->net CSR.  First pass counts one entry per distinct
+  // (terminal, net) pair; second pass fills entries with multiplicities.
+  // Within one net the member list is short, so distinctness is checked by
+  // scanning the net's terminals seen so far.
+  term_offset_.assign(terms + 1, 0);
+  for (std::size_t n = 0; n < nets; ++n) {
+    const std::uint32_t* begin = net_terms_begin(n);
+    const std::uint32_t* end = net_terms_end(n);
+    for (const std::uint32_t* it = begin; it != end; ++it) {
+      if (std::find(begin, it, *it) == it) {
+        ++term_offset_[*it + 1];
+      }
+    }
+  }
+  for (std::size_t t = 0; t < terms; ++t) {
+    term_offset_[t + 1] += term_offset_[t];
+  }
+  term_nets_.resize(term_offset_[terms]);
+  std::vector<std::uint32_t> fill(terms, 0);
+  for (std::size_t n = 0; n < nets; ++n) {
+    const std::uint32_t* begin = net_terms_begin(n);
+    const std::uint32_t* end = net_terms_end(n);
+    for (const std::uint32_t* it = begin; it != end; ++it) {
+      if (std::find(begin, it, *it) != it) {
+        continue;  // Repeat inside this net: already counted below.
+      }
+      const std::uint32_t count =
+          static_cast<std::uint32_t>(std::count(begin, end, *it));
+      term_nets_[term_offset_[*it] + fill[*it]++] =
+          TermNet{static_cast<std::uint32_t>(n), count};
+    }
+  }
+}
+
+namespace {
+/// Below this degree a one-pass rescan is cheaper than count upkeep.
+constexpr std::size_t kAlwaysRescanDegree = 8;
+}  // namespace
+
+IncrementalHpwl::IncrementalHpwl(const NetIndex& index) : index_(index) {
+  boxes_.resize(index_.num_nets());
+  scratch_.resize(index_.num_nets());
+  dirty_.assign(index_.num_nets(), 0);
+  stamp_.assign(index_.num_nets(), 0);
+  always_rescan_.resize(index_.num_nets());
+  for (std::size_t n = 0; n < index_.num_nets(); ++n) {
+    always_rescan_[n] = index_.net_degree(n) <= kAlwaysRescanDegree;
+  }
+}
+
+IncrementalHpwl::Box IncrementalHpwl::compute_box(std::size_t net) const {
+  Box b = compute_span(net);
+  const std::uint32_t* begin = index_.net_terms_begin(net);
+  const std::uint32_t* end = index_.net_terms_end(net);
+  for (const std::uint32_t* it = begin; it != end; ++it) {
+    b.n_min_x += xs_[*it] == b.min_x;
+    b.n_max_x += xs_[*it] == b.max_x;
+    b.n_min_y += ys_[*it] == b.min_y;
+    b.n_max_y += ys_[*it] == b.max_y;
+  }
+  return b;
+}
+
+IncrementalHpwl::Box IncrementalHpwl::compute_span(std::size_t net) const {
+  const std::uint32_t* begin = index_.net_terms_begin(net);
+  const std::uint32_t* end = index_.net_terms_end(net);
+  Box b;
+  b.min_x = b.max_x = xs_[*begin];
+  b.min_y = b.max_y = ys_[*begin];
+  for (const std::uint32_t* it = begin + 1; it != end; ++it) {
+    b.min_x = std::min(b.min_x, xs_[*it]);
+    b.max_x = std::max(b.max_x, xs_[*it]);
+    b.min_y = std::min(b.min_y, ys_[*it]);
+    b.max_y = std::max(b.max_y, ys_[*it]);
+  }
+  return b;
+}
+
+void IncrementalHpwl::reset(std::vector<std::int32_t> xs,
+                            std::vector<std::int32_t> ys) {
+  MCFPGA_REQUIRE(xs.size() == index_.num_terminals() && xs.size() == ys.size(),
+                 "one position per terminal");
+  xs_ = std::move(xs);
+  ys_ = std::move(ys);
+  cost_ = 0;
+  for (std::size_t n = 0; n < index_.num_nets(); ++n) {
+    boxes_[n] = compute_box(n);
+    cost_ += index_.net_weight(n) * boxes_[n].half_perimeter();
+  }
+  undo_count_ = 0;
+  pending_delta_ = 0;
+  pending_full_ = false;
+}
+
+namespace {
+
+/// Moves `m` box instances from old_c to new_c along one dimension.
+/// Leaves a support count at 0 when the last instance left an edge and the
+/// replacement landed strictly inside — the caller's cue to rescan.
+void update_dim(std::int32_t& min_c, std::int32_t& max_c, std::int32_t& n_min,
+                std::int32_t& n_max, std::int32_t old_c, std::int32_t new_c,
+                std::int32_t m) {
+  if (old_c == new_c) {
+    return;
+  }
+  if (old_c == min_c) {
+    n_min -= m;
+  }
+  if (old_c == max_c) {
+    n_max -= m;
+  }
+  if (new_c < min_c) {
+    min_c = new_c;
+    n_min = m;
+  } else if (new_c == min_c) {
+    n_min += m;
+  }
+  if (new_c > max_c) {
+    max_c = new_c;
+    n_max = m;
+  } else if (new_c == max_c) {
+    n_max += m;
+  }
+}
+
+}  // namespace
+
+std::int64_t IncrementalHpwl::propose(const Move* moves, std::size_t count) {
+  ++epoch_;
+  affected_.clear();
+  undo_count_ = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Move& mv = moves[i];
+    const std::int32_t old_x = xs_[mv.term];
+    const std::int32_t old_y = ys_[mv.term];
+    undo_[i] = Move{mv.term, old_x, old_y};
+    for (const NetIndex::TermNet* it = index_.terminal_nets_begin(mv.term);
+         it != index_.terminal_nets_end(mv.term); ++it) {
+      if (stamp_[it->net] != epoch_) {
+        stamp_[it->net] = epoch_;
+        dirty_[it->net] = always_rescan_[it->net];
+        if (!dirty_[it->net]) {
+          scratch_[it->net] = boxes_[it->net];
+        }
+        affected_.push_back(it->net);
+      }
+      if (dirty_[it->net]) {
+        continue;  // Will be rescanned from final positions anyway.
+      }
+      Box& b = scratch_[it->net];
+      const std::int32_t m = static_cast<std::int32_t>(it->count);
+      update_dim(b.min_x, b.max_x, b.n_min_x, b.n_max_x, old_x, mv.x, m);
+      update_dim(b.min_y, b.max_y, b.n_min_y, b.n_max_y, old_y, mv.y, m);
+      if (b.n_min_x == 0 || b.n_max_x == 0 || b.n_min_y == 0 ||
+          b.n_max_y == 0) {
+        dirty_[it->net] = 1;
+      }
+    }
+    xs_[mv.term] = mv.x;
+    ys_[mv.term] = mv.y;
+  }
+
+  std::int64_t delta = 0;
+  for (const std::uint32_t net : affected_) {
+    if (dirty_[net]) {
+      scratch_[net] = always_rescan_[net] ? compute_span(net)
+                                          : compute_box(net);
+    }
+    delta += index_.net_weight(net) *
+             (scratch_[net].half_perimeter() - boxes_[net].half_perimeter());
+  }
+  pending_delta_ = delta;
+  pending_full_ = false;
+  return delta;
+}
+
+std::int64_t IncrementalHpwl::propose_full(const Move* moves,
+                                           std::size_t count) {
+  undo_count_ = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    undo_[i] = Move{moves[i].term, xs_[moves[i].term], ys_[moves[i].term]};
+    xs_[moves[i].term] = moves[i].x;
+    ys_[moves[i].term] = moves[i].y;
+  }
+  pending_delta_ = recompute_cost() - cost_;
+  pending_full_ = true;
+  return pending_delta_;
+}
+
+void IncrementalHpwl::commit() {
+  if (!pending_full_) {
+    for (const std::uint32_t net : affected_) {
+      boxes_[net] = scratch_[net];
+    }
+  }
+  cost_ += pending_delta_;
+  undo_count_ = 0;
+}
+
+void IncrementalHpwl::rollback() {
+  for (std::size_t i = 0; i < undo_count_; ++i) {
+    xs_[undo_[i].term] = undo_[i].x;
+    ys_[undo_[i].term] = undo_[i].y;
+  }
+  undo_count_ = 0;
+}
+
+std::int64_t IncrementalHpwl::recompute_cost() const {
+  std::int64_t c = 0;
+  for (std::size_t n = 0; n < index_.num_nets(); ++n) {
+    // Counts-free scan: half_perimeter never reads the edge supports, and
+    // this is the full-recompute baseline the bench races against.
+    c += index_.net_weight(n) * compute_span(n).half_perimeter();
+  }
+  return c;
+}
+
+}  // namespace mcfpga::place

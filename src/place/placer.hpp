@@ -4,9 +4,24 @@
 // The cost function is the half-perimeter wirelength (HPWL) of every net,
 // summed over contexts (a net active in several contexts counts once per
 // context — multi-context routing pressure is real pressure).  Moves are
-// cluster swaps / relocations and pad swaps; the schedule is a classic
-// geometric cooling with a fixed sweep budget so placements are
-// deterministic for a given seed.
+// cluster swaps / relocations and pad swaps; cluster targets are drawn
+// from a move window that shrinks as acceptance falls (VPR-style range
+// limiting), and the schedule is a classic geometric cooling with a fixed
+// sweep budget — or, behind PlacerOptions::adaptive_cooling, an
+// acceptance-rate-driven schedule.  Placements are deterministic for a
+// given seed.
+//
+// Move evaluation is exact and incremental: a flat CSR terminal->net index
+// (place/net_index.hpp) is built once per problem, and each move updates
+// only the bounding boxes of the nets incident to the moved terminals.
+// Coordinates are integers, so deltas are exact int64s and the incremental
+// trajectory is bit-identical to the O(nets x terminals) full-recompute
+// baseline (PlacerOptions::incremental = false, kept for benches/tests).
+//
+// Multi-seed restarts: num_restarts independent annealers (restart r seeds
+// its RNG with seed + r) run on a worker pool, and the lowest-cost result
+// wins, ties broken by the lowest restart index — so the outcome is
+// deterministic for a fixed seed set regardless of thread count or timing.
 #pragma once
 
 #include <cstddef>
@@ -44,12 +59,37 @@ struct PlacementProblem {
 };
 
 struct PlacerOptions {
-  std::uint64_t seed = 1;
+  /// Annealing seed.  kSeedFromFlow (0) lets the compile flow substitute
+  /// its own seed (core::PlaceStage); place() itself treats it literally.
+  static constexpr std::uint64_t kSeedFromFlow = 0;
+  std::uint64_t seed = kSeedFromFlow;
   /// Annealing sweeps (each sweep = moves_per_sweep attempted moves).
   std::size_t sweeps = 64;
   std::size_t moves_per_sweep = 0;  ///< 0 -> 16 * (clusters + ios)
   double initial_temperature_factor = 0.1;  ///< T0 = factor * initial cost
   double cooling = 0.9;
+  /// Exact incremental delta evaluation (false = full recompute per move;
+  /// same trajectory bit for bit, kept as the bench/test baseline).
+  bool incremental = true;
+  /// Shrink cluster move windows as the acceptance rate falls.
+  bool range_limit = true;
+  /// Replace geometric cooling with an acceptance-rate-driven schedule
+  /// (sweeps still bounds the run).
+  bool adaptive_cooling = false;
+  /// Independent annealing restarts; restart r uses seed + r, best cost
+  /// wins (ties -> lowest restart index).
+  std::size_t num_restarts = 1;
+  /// Worker threads for restarts.  0 = one per hardware thread, capped at
+  /// num_restarts; results are identical regardless of the value.
+  std::size_t num_threads = 0;
+};
+
+/// Outcome of one annealing restart (all restarts are reported, not just
+/// the winner, so callers can attribute time and quality per seed).
+struct RestartStat {
+  std::uint64_t seed = 0;
+  double cost = 0.0;
+  double seconds = 0.0;  ///< Wall clock of this restart's anneal.
 };
 
 struct Placement {
@@ -58,6 +98,11 @@ struct Placement {
   /// io terminal -> pad index (into RoutingGraph::pad()).
   std::vector<std::size_t> io_pads;
   double cost = 0.0;
+
+  /// One entry per restart, in restart order (deterministic apart from
+  /// the wall-clock seconds).
+  std::vector<RestartStat> restart_stats;
+  std::size_t winning_restart = 0;
 };
 
 /// Places the problem onto `graph`'s fabric.  Throws FlowError when the

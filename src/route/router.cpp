@@ -1,12 +1,10 @@
 #include "route/router.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
-#include <system_error>
-#include <thread>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "route/router_core.hpp"
 
 namespace mcfpga::route {
@@ -14,19 +12,6 @@ namespace mcfpga::route {
 namespace {
 
 using arch::EdgeId;
-
-/// Effective worker count: never more than the context count, at least one.
-std::size_t effective_threads(const RouterOptions& options,
-                              std::size_t num_contexts) {
-  std::size_t n = options.num_threads;
-  if (n == 0) {
-    n = std::thread::hardware_concurrency();
-    if (n == 0) {
-      n = 1;
-    }
-  }
-  return std::max<std::size_t>(1, std::min(n, num_contexts));
-}
 
 }  // namespace
 
@@ -64,50 +49,23 @@ RouteResult Router::route(
   std::vector<RouterCore::ContextResult> per_context(num_contexts);
   std::vector<std::exception_ptr> errors(num_contexts);
 
-  const std::size_t workers = effective_threads(options_, num_contexts);
-  if (workers <= 1) {
-    RouterCore core(graph_, options_);
-    for (std::size_t c = 0; c < num_contexts; ++c) {
-      per_context[c] = core.route_context(nets_per_context[c]);
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    const auto work = [&]() {
-      RouterCore core(graph_, options_);
-      for (;;) {
-        const std::size_t c = next.fetch_add(1);
-        if (c >= num_contexts) {
-          break;
-        }
-        try {
-          per_context[c] = core.route_context(nets_per_context[c]);
-        } catch (...) {
-          errors[c] = std::current_exception();
-        }
+  const std::size_t workers =
+      effective_threads(options_.num_threads, num_contexts);
+  parallel_for_index(num_contexts, workers, [&]() {
+    // One RouterCore (with its preallocated scratch) per worker thread.
+    return [&, core = RouterCore(graph_, options_)](std::size_t c) mutable {
+      try {
+        per_context[c] = core.route_context(nets_per_context[c]);
+      } catch (...) {
+        errors[c] = std::current_exception();
       }
     };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) {
-      try {
-        pool.emplace_back(work);
-      } catch (const std::system_error&) {
-        // Thread creation failed (resource exhaustion).  The shared queue
-        // still drains fully on the caller + already-started workers, so
-        // degrade instead of unwinding past joinable threads.
-        break;
-      }
-    }
-    work();
-    for (auto& t : pool) {
-      t.join();
-    }
-    // Re-raise in context order (matches what serial routing would hit
-    // first).
-    for (std::size_t c = 0; c < num_contexts; ++c) {
-      if (errors[c]) {
-        std::rethrow_exception(errors[c]);
-      }
+  });
+  // Re-raise in context order (matches what serial routing would hit
+  // first).
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    if (errors[c]) {
+      std::rethrow_exception(errors[c]);
     }
   }
 

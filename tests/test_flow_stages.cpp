@@ -158,6 +158,43 @@ TEST(FlowStages, ParallelRoutingBitIdenticalToSerial) {
   }
 }
 
+TEST(FlowStages, PlacerSeedIndependentOfFlowSeed) {
+  const auto nl = four_context_workload();
+  const auto spec = small_spec();
+  // An explicit placer seed pins the placement: the flow seed must not
+  // leak into it.
+  CompileOptions a;
+  a.seed = 1;
+  a.placer.seed = 7;
+  CompileOptions b;
+  b.seed = 2;
+  b.placer.seed = 7;
+  const CompiledDesign da = compile(nl, spec, a);
+  const CompiledDesign db = compile(nl, spec, b);
+  EXPECT_EQ(da.placement.cluster_pos, db.placement.cluster_pos);
+  EXPECT_EQ(da.placement.io_pads, db.placement.io_pads);
+
+  // A placer seed left unset inherits the flow seed.
+  CompileOptions c;
+  c.seed = 7;
+  const CompiledDesign dc = compile(nl, spec, c);
+  EXPECT_EQ(da.placement.cluster_pos, dc.placement.cluster_pos);
+  EXPECT_EQ(da.placement.io_pads, dc.placement.io_pads);
+}
+
+TEST(FlowStages, MultiRestartPlacementRecordsPerRestartTimings) {
+  CompileOptions options;
+  options.placer.num_restarts = 3;
+  const CompiledDesign d =
+      compile(four_context_workload(), small_spec(), options);
+  ASSERT_EQ(d.placement.restart_stats.size(), 3u);
+  std::size_t restarts_logged = 0;
+  for (const auto& t : d.stage_timings) {
+    restarts_logged += t.name.rfind("place.restart", 0) == 0;
+  }
+  EXPECT_EQ(restarts_logged, 3u);
+}
+
 TEST(FlowStages, ParallelRoutingBitIdenticalAcrossWorkerCounts) {
   // Drive the Router directly (heterogeneous contexts) at several worker
   // counts, including more workers than contexts.
