@@ -167,6 +167,85 @@ int main(int argc, char** argv) {
                      parallel_route * 1e3, 0.0);
   }
 
+  // --- Timing-driven vs wirelength-driven compile --------------------------
+  // Same workloads, same fabric; only timing_mode changes.  The gate (a
+  // non-zero exit) enforces the headline claim: criticality-driven place &
+  // route beats pure wirelength on at least one multi-context workload,
+  // and timing-driven results stay bit-identical across router worker
+  // counts.
+  {
+    struct TimingWorkload {
+      std::string name;
+      netlist::MultiContextNetlist nl;
+    };
+    std::vector<TimingWorkload> tw;
+    tw.push_back({"pipeline(4,8)", workload::pipeline_workload(4, 8)});
+    {
+      netlist::MultiContextNetlist mixed(4);
+      mixed.context(0) = workload::ripple_carry_adder(3);
+      mixed.context(1) = workload::comparator(5);
+      mixed.context(2) = workload::parity_tree(8);
+      mixed.context(3) = workload::crc_step(6, 0b000011);
+      tw.push_back({"heterogeneous", std::move(mixed)});
+    }
+    if (!smoke) {
+      tw.push_back({"pipeline(4,12)", workload::pipeline_workload(4, 12)});
+    }
+
+    const auto worst_path = [](const core::CompiledDesign& d) {
+      double worst = 0.0;
+      for (const auto& s : d.context_stats) {
+        worst = std::max(worst, s.critical_path);
+      }
+      return worst;
+    };
+
+    Table tt({"workload", "crit path (wirelength)", "crit path (timing)",
+              "improvement"});
+    std::size_t improved = 0;
+    bool deterministic = true;
+    for (const auto& w : tw) {
+      core::CompileOptions off;
+      core::CompileOptions on;
+      on.placer.timing_mode = true;
+      on.router.timing_mode = true;
+      const auto d_off = core::compile(w.nl, spec, off);
+      const auto d_on = core::compile(w.nl, spec, on);
+      const double p_off = worst_path(d_off);
+      const double p_on = worst_path(d_on);
+      improved += p_on < p_off;
+      tt.add_row({w.name, fmt_double(p_off, 1), fmt_double(p_on, 1),
+                  fmt_percent(p_off > 0.0 ? (p_off - p_on) / p_off : 0.0)});
+      bench::json_line("flow_timing_off_" + w.name, w.nl.num_contexts(), 0.0,
+                       p_off);
+      bench::json_line("flow_timing_on_" + w.name, w.nl.num_contexts(), 0.0,
+                       p_on);
+
+      // Determinism: the criticality refresh lives inside each context's
+      // own negotiation, so worker count must not change the answer.
+      // d_on already routed with the parallel default (num_threads = 0),
+      // so only the serial compile is new work.
+      core::CompileOptions on_serial = on;
+      on_serial.router.num_threads = 1;
+      deterministic &=
+          worst_path(core::compile(w.nl, spec, on_serial)) == p_on;
+    }
+    std::cout << "\ntiming-driven place & route vs wirelength-driven "
+                 "(worst context critical path, SE units):\n";
+    tt.print(std::cout);
+    if (!deterministic) {
+      std::cout << "FAIL: timing-driven compile varies with router worker "
+                   "count\n";
+      return 1;
+    }
+    if (improved == 0) {
+      std::cout << "FAIL: timing_mode never lowered the critical path\n";
+      return 1;
+    }
+    std::cout << "timing-driven mode lowered the critical path on "
+              << improved << "/" << tw.size() << " workloads.\n\n";
+  }
+
   if (!smoke) {
     // Detailed report for one design.
     const core::MCFPGA chip(workload::pipeline_workload(4, 6), spec);

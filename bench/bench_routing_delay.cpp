@@ -4,9 +4,14 @@
 // straight-line connections of growing length and a full compiled design
 // under both configurations, then times serial vs parallel per-context
 // routing on a multi-context workload.
+//
+// Pass --smoke for a reduced CI-sized run.  Every measurement also emits
+// one BENCH_JSON machine-readable line (see bench_json.hpp).
+#include <cstring>
 #include <iostream>
 
 #include "arch/routing_graph.hpp"
+#include "bench_json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/mcfpga.hpp"
@@ -36,13 +41,20 @@ route::RoutedPath route_straight(std::size_t length, bool prefer_dl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke |= std::strcmp(argv[i], "--smoke") == 0;
+  }
   std::cout << "=== E5: double-length lines vs serial SEs (Figs. 10-11) "
                "===\n\n";
 
   Table t({"distance (cells)", "switches (single-length only)",
            "switches (with double-length)", "diamonds used", "speedup"});
-  for (const std::size_t len : {2u, 4u, 6u, 8u, 12u, 16u}) {
+  const std::vector<std::size_t> lengths =
+      smoke ? std::vector<std::size_t>{2, 4, 8}
+            : std::vector<std::size_t>{2, 4, 6, 8, 12, 16};
+  for (const std::size_t len : lengths) {
     const auto slow = route_straight(len, false);
     const auto fast = route_straight(len, true);
     t.add_row({std::to_string(len), std::to_string(slow.switch_count()),
@@ -52,6 +64,11 @@ int main() {
                               static_cast<double>(fast.switch_count()),
                           2) +
                    "x"});
+    bench::json_line("routing_delay_straight_single", len, 0.0,
+                     static_cast<double>(slow.switch_count()));
+    bench::json_line("routing_delay_straight_double", len, 0.0,
+                     static_cast<double>(fast.switch_count()),
+                     R"("diamonds":)" + std::to_string(fast.diamond_count));
   }
   std::cout << "straight-line route, SE crossings (delay in SE units):\n";
   t.print(std::cout);
@@ -59,6 +76,7 @@ int main() {
                "roughly half the switches at long distances (Fig. 10).\n\n";
 
   // Full-design critical path with and without the fast lines.
+  const std::size_t stages = smoke ? 6 : 8;
   Table d({"configuration", "critical path ctx0", "ctx1", "ctx2", "ctx3"});
   for (const bool dl : {false, true}) {
     arch::FabricSpec spec;
@@ -68,14 +86,18 @@ int main() {
     spec.double_length_tracks = dl ? 4 : 0;
     core::CompileOptions options;
     options.router.prefer_double_length = dl;
-    const core::MCFPGA chip(workload::pipeline_workload(4, 8), spec,
+    const core::MCFPGA chip(workload::pipeline_workload(4, stages), spec,
                             options);
     std::vector<std::string> row = {dl ? "with double-length lines"
                                        : "single-length only"};
+    double worst = 0.0;
     for (const auto& s : chip.design().context_stats) {
       row.push_back(fmt_double(s.critical_path, 1));
+      worst = std::max(worst, s.critical_path);
     }
     d.add_row(row);
+    bench::json_line(dl ? "routing_delay_e5_double" : "routing_delay_e5_single",
+                     stages, 0.0, worst);
   }
   std::cout << "compiled pipeline workload, critical path (SE units):\n";
   d.print(std::cout);
@@ -90,8 +112,9 @@ int main() {
     spec.height = 6;
     spec.channel_width = 8;
     spec.double_length_tracks = 4;
+    const std::size_t depth = smoke ? 6 : 10;
     core::CompileOptions options;
-    const core::MCFPGA chip(workload::pipeline_workload(4, 10), spec,
+    const core::MCFPGA chip(workload::pipeline_workload(4, depth), spec,
                             options);
 
     Table p({"router workers", "route stage (ms)"});
@@ -100,7 +123,7 @@ int main() {
     for (const std::size_t workers : {std::size_t{1}, std::size_t{0}}) {
       core::CompileOptions timed = options;
       timed.router.num_threads = workers;
-      const auto design = core::compile(workload::pipeline_workload(4, 10),
+      const auto design = core::compile(workload::pipeline_workload(4, depth),
                                         spec, timed);
       double route_ms = 0.0;
       for (const auto& s : design.stage_timings) {
@@ -111,6 +134,9 @@ int main() {
       (workers == 1 ? serial_ms : parallel_ms) = route_ms;
       p.add_row({workers == 0 ? "auto (hardware)" : std::to_string(workers),
                  fmt_double(route_ms, 2)});
+      bench::json_line(workers == 1 ? "routing_delay_route_serial"
+                                    : "routing_delay_route_parallel",
+                       depth, route_ms, 0.0);
     }
     std::cout << "\nserial vs parallel per-context routing (bit-identical "
                  "results):\n";

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Single CI entry point: configure, build src/ with warnings-as-errors,
-# build tests/benches/examples, run the test suite, and smoke the perf
-# benches at tiny sizes so the hot paths are exercised, not just compiled.
+# build tests/benches/examples, run the test suite, re-run it under
+# ASan+UBSan (a second cmake preset), and smoke the perf benches at tiny
+# sizes so the hot paths are exercised, not just compiled.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -euo pipefail
@@ -13,6 +14,13 @@ cmake -B "$BUILD_DIR" -S . -DMCFPGA_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+echo "--- sanitizer (ASan+UBSan) test run ---"
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$SAN_DIR" -S . -DMCFPGA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$SAN_DIR" -j "$(nproc)"
+ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+
 echo "--- bench smoke runs ---"
 "$BUILD_DIR"/bench_placer --smoke
 "$BUILD_DIR"/bench_flow_end2end --smoke
+"$BUILD_DIR"/bench_routing_delay --smoke

@@ -9,11 +9,15 @@
 //   SharingStage    — structural hashing across contexts (Fig. 14a);
 //   PlaneAllocStage — classes -> MCMG-LUT slots + granularity (Sec. 4);
 //   ClusterStage    — slots -> logic blocks, I/O terminal discovery;
-//   PlaceStage      — fabric sizing + simulated annealing over the grid;
+//   PlaceStage      — fabric sizing + simulated annealing over the grid
+//                     (optionally criticality-weighted, placer timing_mode);
 //   RouteStage      — PathFinder over the RRG (Sec. 3), contexts routed
-//                     in parallel with bit-identical-to-serial results;
+//                     in parallel with bit-identical-to-serial results
+//                     (optionally timing-driven, router timing_mode);
+//   TimingStage     — per-context incremental STA over the routed design:
+//                     TimingReports + ContextStats critical paths;
 //   ProgramStage    — LUT plane tables, switch patterns, pad bindings,
-//                     full fabric bitstream, per-context stats.
+//                     full fabric bitstream.
 //
 // compile() runs the default pipeline end to end; callers that want stage
 // reuse, ablation benches, or batch compilation drive the stages directly
@@ -35,6 +39,7 @@
 #include "route/router.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/simulator.hpp"
+#include "timing/timing_graph.hpp"
 
 namespace mcfpga::core {
 
@@ -43,6 +48,9 @@ struct CompileOptions {
   /// Placement knobs; placer.seed left at kSeedFromFlow inherits `seed`.
   place::PlacerOptions placer{};
   route::RouterOptions router{};
+  /// SE/LUT delays used by every timing consumer (criticality weighting,
+  /// timing-driven routing, the Timing stage's reports).
+  sim::DelayParams delay{};
   /// Grow the fabric (square-ish) until clusters and I/O fit.
   bool auto_size = true;
 };
@@ -91,6 +99,9 @@ struct CompiledDesign {
   config::Bitstream full_bitstream;
 
   std::vector<ContextStats> context_stats;
+  /// Per-context STA snapshot from the Timing stage (arrival/required per
+  /// timing node, slacks, critical path).
+  std::vector<timing::TimingReport> timing_reports;
 
   /// Per-stage wall-clock of the pipeline that produced this design.
   std::vector<StageTiming> stage_timings;

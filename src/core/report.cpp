@@ -28,12 +28,19 @@ void print_design_report(std::ostream& os, const CompiledDesign& design) {
   t.add_row({"bitstream rows", fmt_count(design.full_bitstream.num_rows())});
   t.print(os);
 
-  Table ct({"context", "nets", "switches crossed", "critical path (SE units)"});
+  Table ct({"context", "nets", "switches crossed", "critical path (SE units)",
+            "worst slack", "timing arcs"});
   for (std::size_t c = 0; c < design.context_stats.size(); ++c) {
     const auto& s = design.context_stats[c];
+    std::string slack = "-";
+    std::string arcs = "-";
+    if (c < design.timing_reports.size()) {
+      slack = fmt_double(design.timing_reports[c].worst_slack, 1);
+      arcs = fmt_count(design.timing_reports[c].num_arcs);
+    }
     ct.add_row({std::to_string(c), fmt_count(s.nets),
                 fmt_count(s.switches_crossed),
-                fmt_double(s.critical_path, 1)});
+                fmt_double(s.critical_path, 1), slack, arcs});
   }
   ct.print(os);
 

@@ -7,8 +7,11 @@
 
 #include "common/error.hpp"
 #include "config/context_id.hpp"
+#include "core/timing_build.hpp"
 #include "mapping/context_merge.hpp"
 #include "mapping/tech_map.hpp"
+#include "timing/net_timing.hpp"
+#include "timing/timing_graph.hpp"
 
 namespace mcfpga::core {
 
@@ -264,11 +267,43 @@ void PlaceStage::run(FlowContext& ctx) const {
         ++acc.weight;
       }
     }
+    // Pre-route timing-driven weighting: with no routing yet, the honest
+    // criticality is logic depth — the unit-switch STA prior.  Worst
+    // criticality over a class's connections and contexts bumps its
+    // placement net, pulling deep paths tight before the router sees them.
+    std::map<std::size_t, double> class_criticality;
+    if (ctx.options.placer.timing_mode) {
+      // Cache the structure for RouteStage — it depends only on the
+      // clustering, not on the placement this stage is about to produce.
+      ctx.flow_timing = std::make_shared<FlowTiming>(build_flow_timing(ctx));
+      const FlowTiming& ft = *ctx.flow_timing;
+      for (std::size_t c = 0; c < ctx.spec.num_contexts; ++c) {
+        const timing::ConnectionArcs arcs(ft.specs[c]);
+        timing::TimingGraph sta(ft.specs[c].num_nodes, arcs.arcs());
+        sta.analyze();
+        for (std::size_t i = 0; i < ft.specs[c].nets.size(); ++i) {
+          double crit = 0.0;
+          for (std::size_t j = 0; j < ft.specs[c].nets[i].sinks.size(); ++j) {
+            crit = std::max(crit, arcs.connection_criticality(
+                                      sta, arcs.connection(i, j)));
+          }
+          auto [it, inserted] =
+              class_criticality.emplace(ft.net_class[c][i], crit);
+          if (!inserted) {
+            it->second = std::max(it->second, crit);
+          }
+        }
+      }
+    }
     for (auto& [cls, acc] : by_class) {
       place::PlacementNet net;
       net.driver = acc.driver;
       net.sinks = std::move(acc.sinks);
       net.weight = std::max<std::size_t>(acc.weight, 1);
+      const auto crit = class_criticality.find(cls);
+      if (crit != class_criticality.end()) {
+        net.criticality = crit->second;
+      }
       prob.nets.push_back(std::move(net));
     }
   }
@@ -307,53 +342,78 @@ void RouteStage::run(FlowContext& ctx) const {
     const auto [x, y] = cluster_pos(k);
     return graph.out_pin(x, y, ctx.slot_output[slot]);
   };
+  const auto sink_node = [&](const SinkKey& key) -> arch::NodeId {
+    if (key.kind == SinkKey::Kind::kPad) {
+      return graph.pad(ctx.placement.io_pads[key.terminal]);
+    }
+    const auto [x, y] = cluster_pos(key.cluster);
+    return graph.in_pin(x, y, key.pin);
+  };
 
+  // One logical walk yields both the physical net lists and the timing
+  // specs; net/sink indices of the two are aligned by construction.
+  // PlaceStage may have cached the walk (it is placement-independent).
+  FlowTiming local_timing;
+  FlowTiming& ft =
+      ctx.flow_timing ? *ctx.flow_timing
+                      : (local_timing = build_flow_timing(ctx), local_timing);
+  ctx.timing_specs = std::move(ft.specs);
   ctx.nets_per_context.assign(n, {});
   for (std::size_t c = 0; c < n; ++c) {
-    std::map<std::size_t, route::RouteNet> by_driver;  // class -> net
-    const auto add_sink = [&](std::size_t cls, arch::NodeId sink) {
-      auto& net = by_driver[cls];
-      if (net.sinks.empty()) {
-        net.name = "net_cls" + std::to_string(cls);
-        net.source = class_driver_node(cls);
+    ctx.nets_per_context[c].reserve(ft.net_class[c].size());
+    for (std::size_t i = 0; i < ft.net_class[c].size(); ++i) {
+      route::RouteNet net;
+      net.name = "net_cls" + std::to_string(ft.net_class[c][i]);
+      net.source = class_driver_node(ft.net_class[c][i]);
+      net.sinks.reserve(ft.sink_keys[c][i].size());
+      for (const SinkKey& key : ft.sink_keys[c][i]) {
+        net.sinks.push_back(sink_node(key));
       }
-      if (std::find(net.sinks.begin(), net.sinks.end(), sink) ==
-          net.sinks.end()) {
-        net.sinks.push_back(sink);
-      }
-    };
-    for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
-      const Cluster& cl = ctx.clusters[k];
-      const auto [x, y] = cluster_pos(k);
-      for (const std::size_t s : cl.slots) {
-        for (const auto& e : ctx.planes.slots[s].entries) {
-          if (std::find(e.use.contexts.begin(), e.use.contexts.end(), c) ==
-              e.use.contexts.end()) {
-            continue;
-          }
-          for (const std::size_t f : e.use.fanin_classes) {
-            add_sink(f, graph.in_pin(x, y, pin_of(cl, f)));
-          }
-        }
-      }
-    }
-    for (const auto& [name, drivers] : ctx.output_driver) {
-      if (drivers[c] == SIZE_MAX) {
-        continue;
-      }
-      add_sink(drivers[c],
-               graph.pad(ctx.placement.io_pads[ctx.output_terminals.at(name)]));
-    }
-    ctx.nets_per_context[c].reserve(by_driver.size());
-    for (auto& [cls, net] : by_driver) {
       ctx.nets_per_context[c].push_back(std::move(net));
     }
   }
+  ctx.flow_timing.reset();  // specs were moved out; the cache is spent
 
   const route::Router router(graph, ctx.options.router);
-  ctx.routing = router.route(ctx.nets_per_context);
+  ctx.routing = router.route(
+      ctx.nets_per_context,
+      ctx.options.router.timing_mode ? &ctx.timing_specs : nullptr);
   if (!ctx.routing.success) {
     throw FlowError("routing failed to converge (congestion)");
+  }
+}
+
+// --- TimingStage -------------------------------------------------------------
+
+void TimingStage::run(FlowContext& ctx) const {
+  const std::size_t n = ctx.spec.num_contexts;
+  MCFPGA_CHECK(ctx.timing_specs.size() == n && ctx.routing.success,
+               "timing stage requires a routed context");
+
+  ctx.timing_reports.resize(n);
+  ctx.context_stats.assign(n, ContextStats{});
+  for (std::size_t c = 0; c < n; ++c) {
+    const timing::ContextTimingSpec& spec = ctx.timing_specs[c];
+    const timing::ConnectionArcs arcs(spec);
+    timing::TimingGraph sta(spec.num_nodes, arcs.arcs());
+    for (std::size_t i = 0; i < ctx.routing.nets[c].size(); ++i) {
+      const auto& paths = ctx.routing.nets[c][i].paths;
+      MCFPGA_CHECK(paths.size() == spec.nets[i].sinks.size(),
+                   "routed paths must parallel the timing spec");
+      for (std::size_t j = 0; j < paths.size(); ++j) {
+        arcs.set_connection_switches(sta, arcs.connection(i, j),
+                                     paths[j].switch_count());
+      }
+    }
+    sta.analyze();
+    ctx.timing_reports[c] = sta.report();
+
+    auto& stats = ctx.context_stats[c];
+    const route::ContextRouteSummary& summary = ctx.routing.context_summary[c];
+    stats.nets = summary.nets;
+    stats.wire_nodes_used = summary.wire_nodes_used;
+    stats.switches_crossed = summary.switches_crossed;
+    stats.critical_path = ctx.timing_reports[c].critical_path;
   }
 }
 
@@ -445,117 +505,6 @@ void ProgramStage::run(FlowContext& ctx) const {
     }
   }
 
-  // --- Timing & stats -------------------------------------------------------
-  // Timing node ids: one per SLOT (a slot has at most one active entry per
-  // context, so per-context it is a single timing node; clusters would
-  // alias independent slots into false cycles), then I/O terminals.
-  //
-  // All lookups the arc builder needs are precomputed once; the per-path
-  // work is pure index chasing (no slot/entry re-scan per connection).
-  const std::size_t num_nodes = ctx.planes.slots.size() + ctx.num_terminals;
-  std::map<std::pair<std::size_t, std::size_t>, std::size_t> pos_cluster;
-  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
-    pos_cluster[{cluster_pos(k).first, cluster_pos(k).second}] = k;
-  }
-  std::unordered_map<std::size_t, std::size_t> pad_terminal;  // pad -> term
-  for (std::size_t t = 0; t < ctx.placement.io_pads.size(); ++t) {
-    pad_terminal[ctx.placement.io_pads[t]] = t;
-  }
-  // cluster -> LB output index -> slot.
-  std::vector<std::vector<std::size_t>> output_slot(
-      ctx.clusters.size(),
-      std::vector<std::size_t>(ctx.spec.logic_block.num_outputs, SIZE_MAX));
-  for (std::size_t s = 0; s < ctx.planes.slots.size(); ++s) {
-    output_slot[ctx.slot_cluster[s]][ctx.slot_output[s]] = s;
-  }
-  // (cluster, pin, context) -> slots reading that pin in that context.
-  const auto reader_key = [n](std::size_t k, std::size_t pin, std::size_t c) {
-    return (static_cast<std::uint64_t>(k) << 32) |
-           (static_cast<std::uint64_t>(pin) * n + c);
-  };
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pin_readers;
-  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
-    const Cluster& cl = ctx.clusters[k];
-    for (const std::size_t s : cl.slots) {
-      for (const auto& e : ctx.planes.slots[s].entries) {
-        for (std::size_t i = 0; i < e.use.fanin_classes.size(); ++i) {
-          const std::size_t f = e.use.fanin_classes[i];
-          // A repeated fanin contributes one read, not two.
-          if (std::find(e.use.fanin_classes.begin(),
-                        e.use.fanin_classes.begin() + i,
-                        f) != e.use.fanin_classes.begin() + i) {
-            continue;
-          }
-          const std::size_t pin = pin_of(cl, f);
-          for (const std::size_t c : e.use.contexts) {
-            pin_readers[reader_key(k, pin, c)].push_back(s);
-          }
-        }
-      }
-    }
-  }
-
-  ctx.context_stats.resize(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    std::vector<sim::TimingArc> arcs;
-    auto& stats = ctx.context_stats[c];
-    const route::ContextRouteSummary& summary = ctx.routing.context_summary[c];
-    stats.nets = summary.nets;
-    stats.wire_nodes_used = summary.wire_nodes_used;
-    stats.switches_crossed = summary.switches_crossed;
-    for (const auto& net : ctx.routing.nets[c]) {
-      const auto& src = graph.node(net.source);
-      std::size_t from;
-      if (src.kind == arch::NodeKind::kPad) {
-        from = ctx.planes.slots.size() +
-               pad_terminal.at(static_cast<std::size_t>(src.index));
-      } else {
-        const std::size_t k =
-            pos_cluster.at({static_cast<std::size_t>(src.x),
-                            static_cast<std::size_t>(src.y)});
-        const std::size_t s =
-            output_slot[k][static_cast<std::size_t>(src.index)];
-        MCFPGA_CHECK(s != SIZE_MAX, "no slot at cluster output");
-        from = s;
-      }
-      for (const auto& path : net.paths) {
-        const auto& snk = graph.node(path.sink);
-        if (snk.kind == arch::NodeKind::kPad) {
-          sim::TimingArc arc;
-          arc.from = from;
-          arc.switches = path.switch_count();
-          arc.to = ctx.planes.slots.size() +
-                   pad_terminal.at(static_cast<std::size_t>(snk.index));
-          arc.to_is_lut = false;
-          if (arc.from != arc.to) {
-            arcs.push_back(arc);
-          }
-          continue;
-        }
-        // In-pin: fan the arc out to every slot that reads this pin's
-        // signal in context c (precomputed above).
-        const std::size_t k =
-            pos_cluster.at({static_cast<std::size_t>(snk.x),
-                            static_cast<std::size_t>(snk.y)});
-        const auto it = pin_readers.find(
-            reader_key(k, static_cast<std::size_t>(snk.index), c));
-        if (it == pin_readers.end()) {
-          continue;
-        }
-        for (const std::size_t s : it->second) {
-          sim::TimingArc arc;
-          arc.from = from;
-          arc.to = s;
-          arc.switches = path.switch_count();
-          arc.to_is_lut = true;
-          if (arc.from != arc.to) {
-            arcs.push_back(arc);
-          }
-        }
-      }
-    }
-    stats.critical_path = sim::analyze_timing(num_nodes, arcs).critical_path;
-  }
 }
 
 // --- Pipeline driver ---------------------------------------------------------
@@ -581,9 +530,11 @@ const std::vector<const Stage*>& default_pipeline() {
   static const ClusterStage cluster;
   static const PlaceStage place;
   static const RouteStage route;
+  static const TimingStage timing;
   static const ProgramStage program;
   static const std::vector<const Stage*> stages = {
-      &tech_map, &sharing, &plane_alloc, &cluster, &place, &route, &program};
+      &tech_map, &sharing, &plane_alloc, &cluster,
+      &place,    &route,   &timing,      &program};
   return stages;
 }
 
@@ -612,6 +563,7 @@ CompiledDesign finalize_design(FlowContext&& ctx) {
   d.program = std::move(ctx.program);
   d.full_bitstream = std::move(ctx.full_bitstream);
   d.context_stats = std::move(ctx.context_stats);
+  d.timing_reports = std::move(ctx.timing_reports);
   d.stage_timings = std::move(ctx.stage_timings);
   d.input_terminals = std::move(ctx.input_terminals);
   d.output_terminals = std::move(ctx.output_terminals);

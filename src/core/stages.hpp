@@ -13,8 +13,14 @@
 //   PlaneAllocStage -> ctx.planes
 //   ClusterStage    -> ctx.clusters, slot maps, I/O terminal tables
 //   PlaceStage      -> ctx.spec (auto-grown), ctx.graph, ctx.placement
-//   RouteStage      -> ctx.nets_per_context, ctx.routing
-//   ProgramStage    -> ctx.program, ctx.full_bitstream, ctx.context_stats
+//   RouteStage      -> ctx.nets_per_context, ctx.timing_specs, ctx.routing
+//   TimingStage     -> ctx.timing_reports, ctx.context_stats
+//   ProgramStage    -> ctx.program, ctx.full_bitstream
+//
+// Timing feeds back into optimization: PlaceStage weights nets by
+// logic-depth criticality when options.placer.timing_mode is set, and
+// RouteStage hands its timing specs to the router when
+// options.router.timing_mode is set (criticality-driven PathFinder).
 //
 // run_pipeline() times every stage into ctx.stage_timings.
 #pragma once
@@ -28,6 +34,8 @@
 #include "core/flow.hpp"
 
 namespace mcfpga::core {
+
+struct FlowTiming;  // core/timing_build.hpp
 
 /// Carries all intermediate artifacts of one compilation.
 struct FlowContext {
@@ -63,15 +71,25 @@ struct FlowContext {
   // --- PlaceStage ---------------------------------------------------------
   std::unique_ptr<arch::RoutingGraph> graph;
   place::Placement placement;
+  /// Logical connection structure cached by PlaceStage in timing mode (it
+  /// is placement-independent); RouteStage consumes and clears it,
+  /// building its own when absent.
+  std::shared_ptr<FlowTiming> flow_timing;
 
   // --- RouteStage ---------------------------------------------------------
   std::vector<std::vector<route::RouteNet>> nets_per_context;
+  /// Per-context connection timing structure, parallel to
+  /// nets_per_context (specs[c].nets[i].sinks[j] times connection (i, j)).
+  std::vector<timing::ContextTimingSpec> timing_specs;
   route::RouteResult routing;
+
+  // --- TimingStage --------------------------------------------------------
+  std::vector<timing::TimingReport> timing_reports;
+  std::vector<ContextStats> context_stats;
 
   // --- ProgramStage -------------------------------------------------------
   sim::FabricProgram program;
   config::Bitstream full_bitstream;
-  std::vector<ContextStats> context_stats;
 
   // --- bookkeeping --------------------------------------------------------
   std::vector<StageTiming> stage_timings;
@@ -122,6 +140,12 @@ class RouteStage : public Stage {
   void run(FlowContext& ctx) const override;
 };
 
+class TimingStage : public Stage {
+ public:
+  const char* name() const override { return "timing"; }
+  void run(FlowContext& ctx) const override;
+};
+
 class ProgramStage : public Stage {
  public:
   const char* name() const override { return "program"; }
@@ -133,7 +157,7 @@ FlowContext make_flow_context(const netlist::MultiContextNetlist& netlist,
                               const arch::FabricSpec& spec,
                               const CompileOptions& options);
 
-/// The standard seven-stage sequence, as static instances.
+/// The standard eight-stage sequence, as static instances.
 const std::vector<const Stage*>& default_pipeline();
 
 /// Runs `stages` over `ctx` in order, appending one StageTiming each.

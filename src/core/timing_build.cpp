@@ -1,0 +1,129 @@
+#include "core/timing_build.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace mcfpga::core {
+
+namespace {
+
+bool same_key(const SinkKey& a, const SinkKey& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  return a.kind == SinkKey::Kind::kPin
+             ? a.cluster == b.cluster && a.pin == b.pin
+             : a.terminal == b.terminal;
+}
+
+}  // namespace
+
+FlowTiming build_flow_timing(const FlowContext& ctx) {
+  const std::size_t n = ctx.spec.num_contexts;
+  const std::size_t num_slots = ctx.planes.slots.size();
+
+  FlowTiming ft;
+  ft.net_class.resize(n);
+  ft.sink_keys.resize(n);
+  ft.specs.resize(n);
+
+  // Timing node of a class's driver: input classes sit on I/O terminals,
+  // everything else on the slot that computes the class.
+  const auto driver_node = [&](std::size_t cls) -> std::uint32_t {
+    const auto it = ctx.input_class_terminal.find(cls);
+    if (it != ctx.input_class_terminal.end()) {
+      return static_cast<std::uint32_t>(num_slots + it->second);
+    }
+    return static_cast<std::uint32_t>(
+        ctx.planes.slot_of_class.at(cls));
+  };
+
+  for (std::size_t c = 0; c < n; ++c) {
+    struct NetBuild {
+      std::vector<SinkKey> keys;
+      timing::ContextTimingSpec::NetTiming timing;
+    };
+    std::map<std::size_t, NetBuild> by_driver;  // class -> net under build
+
+    // Mirrors RouteStage's historical sink dedup (by physical node): two
+    // (cluster, pin) pairs or two terminals never alias one node, so the
+    // logical keys dedup identically.
+    const auto add_sink = [&](std::size_t cls, const SinkKey& key,
+                              std::uint32_t reader, bool is_lut) {
+      NetBuild& nb = by_driver[cls];
+      std::size_t idx = 0;
+      for (; idx < nb.keys.size(); ++idx) {
+        if (same_key(nb.keys[idx], key)) {
+          break;
+        }
+      }
+      if (idx == nb.keys.size()) {
+        nb.keys.push_back(key);
+        nb.timing.sinks.emplace_back();
+      }
+      const std::uint32_t from = driver_node(cls);
+      if (from == reader) {
+        return;  // self-arc: a slot never times against itself
+      }
+      auto& readers = nb.timing.sinks[idx].readers;
+      const auto dup = std::find_if(
+          readers.begin(), readers.end(),
+          [&](const timing::SinkTiming::Reader& r) { return r.to == reader; });
+      if (dup == readers.end()) {
+        readers.push_back(timing::SinkTiming::Reader{from, reader, is_lut});
+      }
+    };
+
+    for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+      const Cluster& cl = ctx.clusters[k];
+      for (const std::size_t s : cl.slots) {
+        for (const auto& e : ctx.planes.slots[s].entries) {
+          if (std::find(e.use.contexts.begin(), e.use.contexts.end(), c) ==
+              e.use.contexts.end()) {
+            continue;
+          }
+          for (const std::size_t f : e.use.fanin_classes) {
+            const auto pin_it = std::find(cl.pin_signals.begin(),
+                                          cl.pin_signals.end(), f);
+            MCFPGA_CHECK(pin_it != cl.pin_signals.end(),
+                         "signal not present on cluster pins");
+            SinkKey key;
+            key.kind = SinkKey::Kind::kPin;
+            key.cluster = k;
+            key.pin =
+                static_cast<std::size_t>(pin_it - cl.pin_signals.begin());
+            add_sink(f, key, static_cast<std::uint32_t>(s), true);
+          }
+        }
+      }
+    }
+    for (const auto& [name, drivers] : ctx.output_driver) {
+      if (drivers[c] == SIZE_MAX) {
+        continue;
+      }
+      const std::size_t term = ctx.output_terminals.at(name);
+      SinkKey key;
+      key.kind = SinkKey::Kind::kPad;
+      key.terminal = term;
+      add_sink(drivers[c], key,
+               static_cast<std::uint32_t>(num_slots + term), false);
+    }
+
+    ft.specs[c].num_nodes = num_slots + ctx.num_terminals;
+    ft.specs[c].se_delay = ctx.options.delay.se_delay;
+    ft.specs[c].lut_delay = ctx.options.delay.lut_delay;
+    ft.net_class[c].reserve(by_driver.size());
+    ft.sink_keys[c].reserve(by_driver.size());
+    ft.specs[c].nets.reserve(by_driver.size());
+    for (auto& [cls, nb] : by_driver) {
+      ft.net_class[c].push_back(cls);
+      ft.sink_keys[c].push_back(std::move(nb.keys));
+      ft.specs[c].nets.push_back(std::move(nb.timing));
+    }
+  }
+  return ft;
+}
+
+}  // namespace mcfpga::core

@@ -1,0 +1,51 @@
+// Logical timing structure of a clustered design, shared by the three
+// consumers that previously each re-derived (or could not derive) it:
+//
+//   * PlaceStage — pre-route logic-depth criticalities (unit switch
+//     estimates) that weight the annealer's nets in timing mode;
+//   * RouteStage — the RouteNet lists AND the per-context timing specs the
+//     timing-driven router re-times between rip-up iterations, built from
+//     ONE walk so net/sink indices align by construction;
+//   * TimingStage — the post-route per-context TimingReports.
+//
+// Everything here is placement-independent: sinks are logical keys
+// ((cluster, pin) or output terminal), and timing nodes are slot ids
+// followed by I/O terminal ids — the same numbering the old ProgramStage
+// timing pass used.  RouteStage maps the keys to physical routing-graph
+// nodes after placement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/stages.hpp"
+#include "timing/net_timing.hpp"
+
+namespace mcfpga::core {
+
+/// Logical sink of one routed connection.
+struct SinkKey {
+  enum class Kind : std::uint8_t { kPin, kPad };
+  Kind kind = Kind::kPin;
+  std::size_t cluster = 0;   ///< kPin: cluster index.
+  std::size_t pin = 0;       ///< kPin: LB input pin.
+  std::size_t terminal = 0;  ///< kPad: I/O terminal index.
+};
+
+/// Per-context connection structure, nets in ascending driver-class order
+/// (the order RouteStage emits RouteNets in).
+struct FlowTiming {
+  /// net_class[c][i] = driving class of context c's net i.
+  std::vector<std::vector<std::size_t>> net_class;
+  /// sink_keys[c][i][j] = logical sink j of net i.
+  std::vector<std::vector<std::vector<SinkKey>>> sink_keys;
+  /// Timing DAG structure parallel to the above (specs[c].nets[i].sinks[j]
+  /// holds the reader arcs of connection (i, j)).
+  std::vector<timing::ContextTimingSpec> specs;
+};
+
+/// Builds the structure from a FlowContext that has run ClusterStage.
+FlowTiming build_flow_timing(const FlowContext& ctx);
+
+}  // namespace mcfpga::core

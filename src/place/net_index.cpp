@@ -6,7 +6,8 @@
 
 namespace mcfpga::place {
 
-NetIndex::NetIndex(const PlacementProblem& problem) {
+NetIndex::NetIndex(const PlacementProblem& problem,
+                   const PlacerOptions& options) {
   num_clusters_ = problem.num_clusters;
   const std::size_t terms = problem.num_clusters + problem.num_io_terminals;
   const std::size_t nets = problem.nets.size();
@@ -14,9 +15,10 @@ NetIndex::NetIndex(const PlacementProblem& problem) {
   net_weight_.resize(nets);
   net_offset_.assign(nets + 1, 0);
   for (std::size_t n = 0; n < nets; ++n) {
-    // Raw weight, zero included — placement_cost() is the oracle and a
-    // zero-weight net must stay free here too.
-    net_weight_[n] = static_cast<std::int64_t>(problem.nets[n].weight);
+    // Effective weight (criticality-bumped in timing mode), zero included —
+    // placement_cost() is the oracle and a zero-weight net must stay free
+    // here too.
+    net_weight_[n] = effective_net_weight(problem.nets[n], options);
     net_offset_[n + 1] = net_offset_[n] +
                          static_cast<std::uint32_t>(1 + problem.nets[n].sinks.size());
   }

@@ -40,7 +40,10 @@ namespace mcfpga::place {
 /// with a multiplicity count, so moving it moves that many box instances.
 class NetIndex {
  public:
-  explicit NetIndex(const PlacementProblem& problem);
+  /// `options` supplies the timing-mode net weighting; the default keeps
+  /// the pure context-count weights.
+  explicit NetIndex(const PlacementProblem& problem,
+                    const PlacerOptions& options = {});
 
   std::size_t num_nets() const { return net_weight_.size(); }
   std::size_t num_clusters() const { return num_clusters_; }

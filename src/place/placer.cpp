@@ -247,9 +247,30 @@ Placement anneal_one(const PlacementProblem& problem, const Geometry& geom,
 
 }  // namespace
 
+void PlacerOptions::validate() const {
+  MCFPGA_REQUIRE(sweeps > 0, "placer needs at least one sweep");
+  MCFPGA_REQUIRE(initial_temperature_factor > 0.0,
+                 "initial_temperature_factor must be positive");
+  MCFPGA_REQUIRE(cooling > 0.0 && cooling <= 1.0,
+                 "cooling must lie in (0, 1]");
+  MCFPGA_REQUIRE(num_restarts > 0, "placer needs at least one restart");
+  MCFPGA_REQUIRE(timing_weight >= 0.0, "timing_weight must be non-negative");
+}
+
+std::int64_t effective_net_weight(const PlacementNet& net,
+                                  const PlacerOptions& options) {
+  std::int64_t w = static_cast<std::int64_t>(net.weight);
+  if (options.timing_mode) {
+    w *= 1 + static_cast<std::int64_t>(
+                 std::llround(net.criticality * options.timing_weight));
+  }
+  return w;
+}
+
 double placement_cost(const PlacementProblem& problem,
                       const arch::RoutingGraph& graph,
-                      const Placement& placement) {
+                      const Placement& placement,
+                      const PlacerOptions& options) {
   const auto terminal_pos = [&](const Terminal& t) -> std::pair<double, double> {
     if (t.kind == Terminal::Kind::kCluster) {
       return {static_cast<double>(placement.cluster_pos[t.id].first),
@@ -270,7 +291,8 @@ double placement_cost(const PlacementProblem& problem,
       min_y = std::min(min_y, y);
       max_y = std::max(max_y, y);
     }
-    c += static_cast<double>(net.weight) * ((max_x - min_x) + (max_y - min_y));
+    c += static_cast<double>(effective_net_weight(net, options)) *
+         ((max_x - min_x) + (max_y - min_y));
   }
   return c;
 }
@@ -278,6 +300,7 @@ double placement_cost(const PlacementProblem& problem,
 Placement place(const PlacementProblem& problem,
                 const arch::RoutingGraph& graph,
                 const PlacerOptions& options) {
+  options.validate();
   const std::size_t cells = graph.spec().num_cells();
   const std::size_t pads = graph.num_pads();
   if (problem.num_clusters > cells) {
@@ -301,9 +324,11 @@ Placement place(const PlacementProblem& problem,
     for (const auto& s : net.sinks) {
       check(s);
     }
+    MCFPGA_REQUIRE(net.criticality >= 0.0 && net.criticality <= 1.0,
+                   "net criticality must lie in [0, 1]");
   }
 
-  const NetIndex index(problem);
+  const NetIndex index(problem, options);
   const Geometry geom = make_geometry(graph);
   const std::size_t restarts = std::max<std::size_t>(1, options.num_restarts);
 

@@ -50,6 +50,10 @@ struct PlacementNet {
   std::vector<Terminal> sinks;
   /// Contexts in which the net is live (its HPWL weight).
   std::size_t weight = 1;
+  /// Timing criticality in [0, 1] (logic-depth or post-route STA); only
+  /// consulted when PlacerOptions::timing_mode multiplies it into the
+  /// net's effective HPWL weight.
+  double criticality = 0.0;
 };
 
 struct PlacementProblem {
@@ -82,7 +86,26 @@ struct PlacerOptions {
   /// Worker threads for restarts.  0 = one per hardware thread, capped at
   /// num_restarts; results are identical regardless of the value.
   std::size_t num_threads = 0;
+  /// Timing-driven cost: each net's HPWL weight becomes
+  ///   weight * (1 + round(criticality * timing_weight)),
+  /// an integer, so the incremental evaluator stays exact and trajectories
+  /// stay deterministic.  Off = criticalities ignored, bit-identical to
+  /// the pure-HPWL placer.
+  bool timing_mode = false;
+  /// Strength of the criticality bump (a fully critical net weighs
+  /// (1 + timing_weight)x its wirelength weight).
+  double timing_weight = 4.0;
+
+  /// Throws InvalidArgument on out-of-range values (zero sweep/restart
+  /// budget, non-positive cooling, negative weights, ...).  Called by
+  /// place().
+  void validate() const;
 };
+
+/// The annealer's per-net weight: the context count, criticality-bumped in
+/// timing mode.  Exposed so placement_cost() and the NetIndex agree.
+std::int64_t effective_net_weight(const PlacementNet& net,
+                                  const PlacerOptions& options);
 
 /// Outcome of one annealing restart (all restarts are reported, not just
 /// the winner, so callers can attribute time and quality per seed).
@@ -111,8 +134,11 @@ Placement place(const PlacementProblem& problem,
                 const arch::RoutingGraph& graph, const PlacerOptions& options);
 
 /// Cost of an explicit placement (exposed for tests and the placer itself).
+/// `options` supplies the timing-mode net weighting; the default matches
+/// the pure-HPWL cost.
 double placement_cost(const PlacementProblem& problem,
                       const arch::RoutingGraph& graph,
-                      const Placement& placement);
+                      const Placement& placement,
+                      const PlacerOptions& options = {});
 
 }  // namespace mcfpga::place

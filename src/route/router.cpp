@@ -37,14 +37,31 @@ config::Bitstream RouteResult::to_bitstream(
   return bs;
 }
 
+void RouterOptions::validate() const {
+  MCFPGA_REQUIRE(max_iterations > 0, "router needs at least one iteration");
+  MCFPGA_REQUIRE(present_factor_growth > 0.0,
+                 "present_factor_growth must be positive");
+  MCFPGA_REQUIRE(history_increment >= 0.0,
+                 "history_increment must be non-negative");
+  MCFPGA_REQUIRE(criticality_exponent > 0.0,
+                 "criticality_exponent must be positive");
+  MCFPGA_REQUIRE(max_criticality >= 0.0 && max_criticality < 1.0,
+                 "max_criticality must lie in [0, 1)");
+}
+
 Router::Router(const arch::RoutingGraph& graph, RouterOptions options)
-    : graph_(graph), options_(options) {}
+    : graph_(graph), options_(options) {
+  options_.validate();
+}
 
 RouteResult Router::route(
-    const std::vector<std::vector<RouteNet>>& nets_per_context) const {
+    const std::vector<std::vector<RouteNet>>& nets_per_context,
+    const std::vector<timing::ContextTimingSpec>* timing) const {
   const std::size_t num_contexts = graph_.spec().num_contexts;
   MCFPGA_REQUIRE(nets_per_context.size() == num_contexts,
                  "net list must cover every context");
+  MCFPGA_REQUIRE(timing == nullptr || timing->size() == num_contexts,
+                 "timing specs must cover every context");
 
   std::vector<RouterCore::ContextResult> per_context(num_contexts);
   std::vector<std::exception_ptr> errors(num_contexts);
@@ -55,7 +72,8 @@ RouteResult Router::route(
     // One RouterCore (with its preallocated scratch) per worker thread.
     return [&, core = RouterCore(graph_, options_)](std::size_t c) mutable {
       try {
-        per_context[c] = core.route_context(nets_per_context[c]);
+        per_context[c] = core.route_context(
+            nets_per_context[c], timing ? &(*timing)[c] : nullptr);
       } catch (...) {
         errors[c] = std::current_exception();
       }

@@ -29,6 +29,7 @@
 #include "arch/routing_graph.hpp"
 #include "config/bitstream.hpp"
 #include "config/pattern.hpp"
+#include "timing/net_timing.hpp"
 
 namespace mcfpga::route {
 
@@ -66,6 +67,22 @@ struct RouterOptions {
   /// regardless of the value: contexts are independent and merged in
   /// context order.
   std::size_t num_threads = 0;
+  /// Timing-driven negotiation: expansion cost becomes
+  ///   crit * se_delay + (1 - crit) * congestion_cost
+  /// per node entered, with per-connection criticalities refreshed from an
+  /// incremental STA between rip-up iterations.  Requires timing specs to
+  /// be passed to Router::route; off = bit-identical to the pure
+  /// congestion router.
+  bool timing_mode = false;
+  /// Sharpens criticalities (crit^exponent) before use; 1 = linear.
+  double criticality_exponent = 1.0;
+  /// Criticality ceiling, keeping a sliver of congestion pressure on even
+  /// the most critical connection so negotiation still converges.
+  double max_criticality = 0.99;
+
+  /// Throws InvalidArgument on out-of-range values (zero iteration budget,
+  /// negative increments/weights, ...).  Called by Router's constructor.
+  void validate() const;
 };
 
 /// Per-context aggregates collected while committing routed paths, so
@@ -96,14 +113,20 @@ struct RouteResult {
 
 class Router {
  public:
+  /// Validates `options` (InvalidArgument on bad values).
   Router(const arch::RoutingGraph& graph, RouterOptions options = {});
 
   /// Routes all contexts; nets_per_context.size() must equal the fabric's
   /// context count.  Throws FlowError when a net is unroutable outright
   /// (no physical path); returns success=false when congestion cannot be
   /// resolved within max_iterations.
-  RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context)
-      const;
+  ///
+  /// `timing` (one spec per context, parallel to the net lists) enables the
+  /// timing-driven cost when options.timing_mode is set; contexts remain
+  /// independent, so parallel results stay bit-identical to serial.
+  RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context,
+                    const std::vector<timing::ContextTimingSpec>* timing =
+                        nullptr) const;
 
  private:
   const arch::RoutingGraph& graph_;

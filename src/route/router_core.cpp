@@ -1,7 +1,9 @@
 #include "route/router_core.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/error.hpp"
 
@@ -69,7 +71,8 @@ double RouterCore::dist_of(std::size_t node) const {
 }
 
 RouterCore::ContextResult RouterCore::route_context(
-    const std::vector<RouteNet>& nets) {
+    const std::vector<RouteNet>& nets,
+    const timing::ContextTimingSpec* timing) {
   const std::size_t num_nodes = graph_.num_nodes();
   std::fill(occupancy_.begin(), occupancy_.end(), 0);
   std::fill(history_.begin(), history_.end(), 0.0);
@@ -78,6 +81,39 @@ RouterCore::ContextResult RouterCore::route_context(
   const std::vector<std::size_t>& offsets = graph_.csr_offsets();
   const std::vector<EdgeId>& csr_edges = graph_.csr_edges();
   const std::vector<NodeId>& csr_targets = graph_.csr_targets();
+
+  // Per-context incremental STA (timing-driven mode only).  The DAG's
+  // topology is fixed for the whole negotiation; only switch counts — arc
+  // delays — change between iterations, which is exactly the incremental
+  // case TimingGraph::analyze() is built for.
+  const bool timing_driven = options_.timing_mode && timing != nullptr;
+  std::optional<timing::ConnectionArcs> conn_arcs;
+  std::optional<timing::TimingGraph> sta;
+  std::vector<double> crit;  // flat (net, sink) -> criticality in [0, 1]
+  if (timing_driven) {
+    MCFPGA_REQUIRE(timing->nets.size() == nets.size(),
+                   "timing spec must parallel the context's net list");
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      MCFPGA_REQUIRE(timing->nets[i].sinks.size() == nets[i].sinks.size(),
+                     "timing spec sinks must parallel the net's sinks");
+    }
+    conn_arcs.emplace(*timing);
+    sta.emplace(timing->num_nodes, conn_arcs->arcs());
+    sta->analyze();  // unit-switch estimates: logic-depth criticality
+    crit.resize(conn_arcs->num_connections());
+  }
+  const auto refresh_criticality = [&]() {
+    for (std::size_t conn = 0; conn < crit.size(); ++conn) {
+      double c = conn_arcs->connection_criticality(*sta, conn);
+      if (options_.criticality_exponent != 1.0) {
+        c = std::pow(c, options_.criticality_exponent);
+      }
+      crit[conn] = std::min(c, options_.max_criticality);
+    }
+  };
+  if (timing_driven) {
+    refresh_criticality();
+  }
 
   ContextResult result;
   result.nets.resize(nets.size());
@@ -115,7 +151,22 @@ RouterCore::ContextResult RouterCore::route_context(
       ++tree_epoch_;
       in_tree_epoch_[static_cast<std::size_t>(net.source)] = tree_epoch_;
 
-      for (const NodeId sink : net.sinks) {
+      for (std::size_t j = 0; j < net.sinks.size(); ++j) {
+        const NodeId sink = net.sinks[j];
+        // Timing-driven blend for this connection: every node entered is
+        // one switch crossing, so the delay term is crit * se_delay per
+        // expansion step.  (Wire already in the net's tree is reused at
+        // zero cost — upstream delay is not re-charged, the standard
+        // PathFinder simplification.)  With timing off the scales are
+        // exactly (1, 0), leaving the cost bit-identical to the pure
+        // congestion router.
+        double cong_scale = 1.0;
+        double delay_term = 0.0;
+        if (timing_driven) {
+          const double c = crit[conn_arcs->connection(i, j)];
+          cong_scale = 1.0 - c;
+          delay_term = c * timing->se_delay;
+        }
         ++epoch_;
         heap_.clear();
         for (const NodeId t : tree) {
@@ -148,7 +199,8 @@ RouterCore::ContextResult RouterCore::route_context(
             if (is_wire_[vi] == 0 && v != sink) {
               continue;
             }
-            const double nd = item.cost + node_cost(vi);
+            const double nd =
+                item.cost + cong_scale * node_cost(vi) + delay_term;
             if (nd < dist_of(vi)) {
               dist_[vi] = nd;
               prev_[vi] = csr_edges[at];
@@ -206,6 +258,21 @@ RouterCore::ContextResult RouterCore::route_context(
       break;
     }
     present_factor *= options_.present_factor_growth;
+
+    if (timing_driven) {
+      // Re-time every connection at its current switch count (incremental:
+      // only changed delays propagate) and pull fresh criticalities for
+      // the next rip-up round.
+      for (std::size_t i = 0; i < nets.size(); ++i) {
+        const auto& paths = result.nets[i].paths;
+        for (std::size_t j = 0; j < paths.size(); ++j) {
+          conn_arcs->set_connection_switches(
+              *sta, conn_arcs->connection(i, j), paths[j].switch_count());
+        }
+      }
+      sta->analyze();
+      refresh_criticality();
+    }
   }
 
   result.iterations = iter + 1;

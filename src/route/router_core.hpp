@@ -11,6 +11,15 @@
 //
 // The hot loop walks the graph's flat CSR arrays (RoutingGraph::csr_*)
 // instead of chasing per-node edge vectors.
+//
+// Timing-driven mode (RouterOptions::timing_mode + a ContextTimingSpec):
+// each context carries its own TimingGraph, re-timed incrementally from
+// the current switch counts between rip-up iterations, and every (net,
+// sink) connection expands with cost
+//   crit * se_delay + (1 - crit) * congestion_cost
+// — the classic timing-driven PathFinder blend.  Criticalities start from
+// the unit-switch (logic depth) prior, so even iteration 0 prefers short
+// detours for deep paths.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +28,8 @@
 
 #include "arch/routing_graph.hpp"
 #include "route/router.hpp"
+#include "timing/net_timing.hpp"
+#include "timing/timing_graph.hpp"
 
 namespace mcfpga::route {
 
@@ -39,8 +50,12 @@ class RouterCore {
 
   /// Routes one context's nets.  Throws FlowError when a net has no
   /// physical path at all; returns converged=false when congestion cannot
-  /// be negotiated away within options.max_iterations.
-  ContextResult route_context(const std::vector<RouteNet>& nets);
+  /// be negotiated away within options.max_iterations.  `timing` (may be
+  /// null) enables the criticality-driven cost when options.timing_mode is
+  /// set; its nets/sinks must parallel `nets`.
+  ContextResult route_context(const std::vector<RouteNet>& nets,
+                              const timing::ContextTimingSpec* timing =
+                                  nullptr);
 
  private:
   struct HeapItem {

@@ -1,83 +1,33 @@
 #include "sim/delay_model.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
+#include "timing/timing_graph.hpp"
 
 namespace mcfpga::sim {
 
 TimingReport analyze_timing(std::size_t num_nodes,
                             const std::vector<TimingArc>& arcs,
                             const DelayParams& params) {
-  // Flat CSR adjacency (counting sort over arcs, stable in arc order) —
-  // one contiguous allocation instead of a vector per node.
-  std::vector<std::size_t> indegree(num_nodes, 0);
-  std::vector<std::size_t> offsets(num_nodes + 1, 0);
+  std::vector<timing::Arc> t_arcs;
+  t_arcs.reserve(arcs.size());
   for (const auto& a : arcs) {
     MCFPGA_REQUIRE(a.from < num_nodes && a.to < num_nodes,
                    "timing arc endpoint out of range");
-    ++indegree[a.to];
-    ++offsets[a.from + 1];
+    t_arcs.push_back(timing::Arc{
+        static_cast<std::uint32_t>(a.from), static_cast<std::uint32_t>(a.to),
+        params.se_delay * static_cast<double>(a.switches) +
+            (a.to_is_lut ? params.lut_delay : 0.0)});
   }
-  for (std::size_t n = 0; n < num_nodes; ++n) {
-    offsets[n + 1] += offsets[n];
-  }
-  std::vector<std::size_t> arc_of(arcs.size());
-  {
-    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::size_t i = 0; i < arcs.size(); ++i) {
-      arc_of[cursor[arcs[i].from]++] = i;
-    }
-  }
+  timing::TimingGraph graph(num_nodes, std::move(t_arcs));
+  graph.analyze();
 
   TimingReport report;
-  report.arrival.assign(num_nodes, 0.0);
-  std::vector<std::size_t> critical_pred(num_nodes, SIZE_MAX);
-
-  // Kahn topological relaxation.
-  std::vector<std::size_t> ready;
+  report.critical_path = graph.critical_path();
+  report.arrival.resize(num_nodes);
   for (std::size_t n = 0; n < num_nodes; ++n) {
-    if (indegree[n] == 0) {
-      ready.push_back(n);
-    }
+    report.arrival[n] = graph.arrival(n);
   }
-  std::size_t processed = 0;
-  while (!ready.empty()) {
-    const std::size_t u = ready.back();
-    ready.pop_back();
-    ++processed;
-    for (std::size_t at = offsets[u]; at < offsets[u + 1]; ++at) {
-      const auto& a = arcs[arc_of[at]];
-      const double t = report.arrival[u] +
-                       params.se_delay * static_cast<double>(a.switches) +
-                       (a.to_is_lut ? params.lut_delay : 0.0);
-      if (t > report.arrival[a.to]) {
-        report.arrival[a.to] = t;
-        critical_pred[a.to] = u;
-      }
-      if (--indegree[a.to] == 0) {
-        ready.push_back(a.to);
-      }
-    }
-  }
-  MCFPGA_CHECK(processed == num_nodes,
-               "timing graph contains a combinational cycle");
-
-  std::size_t worst = 0;
-  for (std::size_t n = 0; n < num_nodes; ++n) {
-    if (report.arrival[n] > report.arrival[worst]) {
-      worst = n;
-    }
-  }
-  report.critical_path = num_nodes == 0 ? 0.0 : report.arrival[worst];
-
-  for (std::size_t n = worst; n != SIZE_MAX; n = critical_pred[n]) {
-    report.critical_nodes.push_back(n);
-    if (report.critical_nodes.size() > num_nodes) {
-      break;  // defensive: corrupt pred chain
-    }
-  }
-  std::reverse(report.critical_nodes.begin(), report.critical_nodes.end());
+  report.critical_nodes = graph.critical_nodes();
   return report;
 }
 

@@ -38,6 +38,8 @@ struct TimingReport {
 };
 
 /// Longest-path analysis.  Throws ProgrammingError on a combinational cycle.
+/// Thin compatibility wrapper over timing::TimingGraph (src/timing/), which
+/// the optimization loops use directly for incremental slack/criticality.
 TimingReport analyze_timing(std::size_t num_nodes,
                             const std::vector<TimingArc>& arcs,
                             const DelayParams& params = {});

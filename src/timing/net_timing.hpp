@@ -1,0 +1,134 @@
+// Connection-level timing structure of one context.
+//
+// The compile flow knows which logical connection every routed (net, sink)
+// pair realizes: a driver (LUT slot or input pad) reaching one or more
+// reading slots or an output pad.  A ContextTimingSpec captures exactly
+// that — timing node ids plus the per-connection reader fan-out — without
+// any reference to routing-graph node ids, so the same spec serves
+//
+//   * the timing-driven router, which re-times the context between rip-up
+//     iterations (switch counts change, topology does not);
+//   * the Timing stage, which produces the per-context TimingReport from
+//     the final routed switch counts;
+//   * pre-route criticality estimation (unit switch counts), which seeds
+//     the placer's net weights and the router's first iteration.
+//
+// ConnectionArcs flattens a spec into the timing::Arc array a TimingGraph
+// consumes, keeping per-connection arc ranges so delays and criticalities
+// map back to (net, sink) pairs in O(1).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "timing/timing_graph.hpp"
+
+namespace mcfpga::timing {
+
+/// One (net, sink) connection's contribution to the context timing DAG.
+/// A sink pin feeding several slots of one logic block fans out to one
+/// reader per slot; an output pad is a single non-LUT reader.
+struct SinkTiming {
+  struct Reader {
+    std::uint32_t from = 0;  ///< Driver timing node (slot or terminal).
+    std::uint32_t to = 0;    ///< Reader timing node (slot or terminal).
+    bool is_lut = false;     ///< Reader adds the block delay.
+  };
+  std::vector<Reader> readers;
+};
+
+/// Timing structure of one context, parallel to its RouteNet list:
+/// nets[i].sinks[j] describes connection j of net i.
+struct ContextTimingSpec {
+  std::size_t num_nodes = 0;
+  struct NetTiming {
+    std::vector<SinkTiming> sinks;
+  };
+  std::vector<NetTiming> nets;
+  double se_delay = 1.0;   ///< One pass-gate crossing.
+  double lut_delay = 2.0;  ///< One logic-block evaluation.
+
+  /// Delay of one connection: `switches` crossings plus the reader's block
+  /// delay when it is a LUT.
+  double connection_delay(std::size_t switches, bool is_lut) const {
+    return se_delay * static_cast<double>(switches) +
+           (is_lut ? lut_delay : 0.0);
+  }
+};
+
+/// Flattened arc view of a spec: one timing::Arc per reader, grouped by
+/// connection.  Arc delays start at the one-switch estimate, which makes
+/// the initial analysis a pure logic-depth criticality — the right prior
+/// before anything is routed.
+class ConnectionArcs {
+ public:
+  explicit ConnectionArcs(const ContextTimingSpec& spec) : spec_(&spec) {
+    std::size_t conns = 0;
+    net_offset_.reserve(spec.nets.size() + 1);
+    net_offset_.push_back(0);
+    for (const auto& net : spec.nets) {
+      conns += net.sinks.size();
+      net_offset_.push_back(static_cast<std::uint32_t>(conns));
+    }
+    conn_offset_.reserve(conns + 1);
+    conn_offset_.push_back(0);
+    for (const auto& net : spec.nets) {
+      for (const auto& sink : net.sinks) {
+        for (const auto& r : sink.readers) {
+          arcs_.push_back(
+              Arc{r.from, r.to, spec.connection_delay(1, r.is_lut)});
+          arc_is_lut_.push_back(r.is_lut ? 1 : 0);
+        }
+        conn_offset_.push_back(static_cast<std::uint32_t>(arcs_.size()));
+      }
+    }
+  }
+
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  std::size_t num_connections() const { return conn_offset_.size() - 1; }
+
+  /// Flat connection index of net `i`, sink `j`.
+  std::size_t connection(std::size_t net, std::size_t sink) const {
+    return net_offset_[net] + sink;
+  }
+
+  /// Arc index range [first, last) of one flat connection.
+  std::uint32_t arcs_begin(std::size_t conn) const {
+    return conn_offset_[conn];
+  }
+  std::uint32_t arcs_end(std::size_t conn) const {
+    return conn_offset_[conn + 1];
+  }
+
+  /// Re-times one connection in `graph` to `switches` crossings.
+  void set_connection_switches(TimingGraph& graph, std::size_t conn,
+                               std::size_t switches) const {
+    for (std::uint32_t a = conn_offset_[conn]; a < conn_offset_[conn + 1];
+         ++a) {
+      graph.set_arc_delay(
+          a, spec_->connection_delay(switches, arc_is_lut_[a] != 0));
+    }
+  }
+
+  /// Criticality of a connection = worst criticality over its arcs.
+  double connection_criticality(const TimingGraph& graph,
+                                std::size_t conn) const {
+    double crit = 0.0;
+    for (std::uint32_t a = conn_offset_[conn]; a < conn_offset_[conn + 1];
+         ++a) {
+      crit = std::max(crit, graph.criticality(a));
+    }
+    return crit;
+  }
+
+ private:
+  const ContextTimingSpec* spec_;
+  std::vector<Arc> arcs_;
+  std::vector<std::uint8_t> arc_is_lut_;
+  std::vector<std::uint32_t> net_offset_;
+  std::vector<std::uint32_t> conn_offset_;
+};
+
+}  // namespace mcfpga::timing

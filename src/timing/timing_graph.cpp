@@ -1,0 +1,282 @@
+#include "timing/timing_graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mcfpga::timing {
+
+TimingGraph::TimingGraph(std::size_t num_nodes, std::vector<Arc> arcs)
+    : num_nodes_(num_nodes), arcs_(std::move(arcs)) {
+  const std::size_t n = num_nodes_;
+  out_offset_.assign(n + 1, 0);
+  in_offset_.assign(n + 1, 0);
+  for (const Arc& a : arcs_) {
+    MCFPGA_REQUIRE(a.from < n && a.to < n, "timing arc endpoint out of range");
+    ++out_offset_[a.from + 1];
+    ++in_offset_[a.to + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out_offset_[i + 1] += out_offset_[i];
+    in_offset_[i + 1] += in_offset_[i];
+  }
+  out_arc_.resize(arcs_.size());
+  in_arc_.resize(arcs_.size());
+  {
+    std::vector<std::uint32_t> out_cur(out_offset_.begin(),
+                                       out_offset_.end() - 1);
+    std::vector<std::uint32_t> in_cur(in_offset_.begin(), in_offset_.end() - 1);
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      out_arc_[out_cur[arcs_[a].from]++] = static_cast<std::uint32_t>(a);
+      in_arc_[in_cur[arcs_[a].to]++] = static_cast<std::uint32_t>(a);
+    }
+  }
+
+  // Kahn levelization: level = longest arc count from any source.  Proves
+  // acyclicity and yields the bucket order both propagations walk.
+  level_.assign(n, 0);
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const Arc& a : arcs_) {
+    ++indegree[a.to];
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) {
+      ready.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t u = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (std::uint32_t at = out_offset_[u]; at < out_offset_[u + 1]; ++at) {
+      const Arc& a = arcs_[out_arc_[at]];
+      level_[a.to] = std::max(level_[a.to], level_[u] + 1);
+      if (--indegree[a.to] == 0) {
+        ready.push_back(a.to);
+      }
+    }
+  }
+  MCFPGA_CHECK(processed == n, "timing graph contains a combinational cycle");
+
+  num_levels_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num_levels_ = std::max<std::size_t>(num_levels_, level_[i] + 1);
+  }
+  // Counting sort of nodes into level order.
+  level_offset_.assign(num_levels_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++level_offset_[level_[i] + 1];
+  }
+  for (std::size_t l = 0; l < num_levels_; ++l) {
+    level_offset_[l + 1] += level_offset_[l];
+  }
+  by_level_.resize(n);
+  {
+    std::vector<std::uint32_t> cur(level_offset_.begin(),
+                                   level_offset_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      by_level_[cur[level_[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  arrival_.assign(n, 0.0);
+  required_.assign(n, 0.0);
+  critical_pred_.assign(n, SIZE_MAX);
+  forward_stamp_.assign(n, 0);
+  backward_stamp_.assign(n, 0);
+  epoch_ = 1;
+  bucket_.resize(num_levels_);
+}
+
+void TimingGraph::set_arc_delay(std::size_t a, double delay) {
+  MCFPGA_REQUIRE(a < arcs_.size(), "timing arc index out of range");
+  if (arcs_[a].delay == delay) {
+    return;
+  }
+  arcs_[a].delay = delay;
+  const std::uint32_t to = arcs_[a].to;
+  const std::uint32_t from = arcs_[a].from;
+  if (forward_stamp_[to] != epoch_) {
+    forward_stamp_[to] = epoch_;
+    dirty_forward_.push_back(to);
+  }
+  if (backward_stamp_[from] != epoch_) {
+    backward_stamp_[from] = epoch_;
+    dirty_backward_.push_back(from);
+  }
+}
+
+bool TimingGraph::recompute_arrival(std::uint32_t n) {
+  double arr = 0.0;
+  std::size_t pred = SIZE_MAX;
+  for (std::uint32_t at = in_offset_[n]; at < in_offset_[n + 1]; ++at) {
+    const std::uint32_t a = in_arc_[at];
+    const double t = arrival_[arcs_[a].from] + arcs_[a].delay;
+    if (t > arr) {
+      arr = t;
+      pred = a;
+    }
+  }
+  critical_pred_[n] = pred;
+  if (arr == arrival_[n]) {
+    return false;
+  }
+  arrival_[n] = arr;
+  return true;
+}
+
+bool TimingGraph::recompute_required(std::uint32_t n) {
+  double req = critical_path_;
+  bool first = true;
+  for (std::uint32_t at = out_offset_[n]; at < out_offset_[n + 1]; ++at) {
+    const std::uint32_t a = out_arc_[at];
+    const double t = required_[arcs_[a].to] - arcs_[a].delay;
+    if (first || t < req) {
+      req = t;
+      first = false;
+    }
+  }
+  if (req == required_[n]) {
+    return false;
+  }
+  required_[n] = req;
+  return true;
+}
+
+void TimingGraph::refresh_critical_path() {
+  critical_path_ = 0.0;
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    critical_path_ = std::max(critical_path_, arrival_[i]);
+  }
+}
+
+void TimingGraph::propagate_arrival_full() {
+  for (const std::uint32_t n : by_level_) {
+    recompute_arrival(n);
+  }
+}
+
+void TimingGraph::propagate_required_full() {
+  for (std::size_t i = by_level_.size(); i-- > 0;) {
+    recompute_required(by_level_[i]);
+  }
+}
+
+void TimingGraph::analyze_full() {
+  propagate_arrival_full();
+  refresh_critical_path();
+  propagate_required_full();
+  analyzed_ = true;
+  dirty_forward_.clear();
+  dirty_backward_.clear();
+  ++epoch_;
+}
+
+void TimingGraph::analyze() {
+  if (!analyzed_) {
+    analyze_full();
+    return;
+  }
+  if (dirty_forward_.empty() && dirty_backward_.empty()) {
+    return;
+  }
+
+  // Forward cone: recompute arrivals level by level from the edited arcs'
+  // sinks; a node whose maximum is unchanged stops the wave.
+  for (const std::uint32_t n : dirty_forward_) {
+    bucket_[level_[n]].push_back(n);
+  }
+  for (std::size_t l = 0; l < num_levels_; ++l) {
+    for (std::size_t i = 0; i < bucket_[l].size(); ++i) {
+      const std::uint32_t n = bucket_[l][i];
+      if (!recompute_arrival(n)) {
+        continue;
+      }
+      for (std::uint32_t at = out_offset_[n]; at < out_offset_[n + 1]; ++at) {
+        const std::uint32_t to = arcs_[out_arc_[at]].to;
+        if (forward_stamp_[to] != epoch_) {
+          forward_stamp_[to] = epoch_;
+          bucket_[level_[to]].push_back(to);
+        }
+      }
+    }
+    bucket_[l].clear();
+  }
+
+  const double old_critical = critical_path_;
+  refresh_critical_path();
+
+  if (critical_path_ != old_critical) {
+    // Every sink's requirement is anchored at the critical path, so a
+    // moved critical path re-anchors the whole backward propagation.
+    propagate_required_full();
+  } else {
+    for (const std::uint32_t n : dirty_backward_) {
+      bucket_[level_[n]].push_back(n);
+    }
+    for (std::size_t l = num_levels_; l-- > 0;) {
+      for (std::size_t i = 0; i < bucket_[l].size(); ++i) {
+        const std::uint32_t n = bucket_[l][i];
+        if (!recompute_required(n)) {
+          continue;
+        }
+        for (std::uint32_t at = in_offset_[n]; at < in_offset_[n + 1]; ++at) {
+          const std::uint32_t from = arcs_[in_arc_[at]].from;
+          if (backward_stamp_[from] != epoch_) {
+            backward_stamp_[from] = epoch_;
+            bucket_[level_[from]].push_back(from);
+          }
+        }
+      }
+      bucket_[l].clear();
+    }
+  }
+
+  dirty_forward_.clear();
+  dirty_backward_.clear();
+  ++epoch_;
+}
+
+std::vector<std::size_t> TimingGraph::critical_nodes() const {
+  std::vector<std::size_t> nodes;
+  if (num_nodes_ == 0) {
+    return nodes;
+  }
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    if (arrival_[i] > arrival_[worst]) {
+      worst = i;
+    }
+  }
+  for (std::size_t n = worst;;) {
+    nodes.push_back(n);
+    const std::size_t pred = critical_pred_[n];
+    if (pred == SIZE_MAX || nodes.size() > num_nodes_) {
+      break;
+    }
+    n = arcs_[pred].from;
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+TimingReport TimingGraph::report() const {
+  TimingReport r;
+  r.critical_path = critical_path_;
+  r.arrival = arrival_;
+  r.required = required_;
+  r.critical_nodes = critical_nodes();
+  r.num_arcs = arcs_.size();
+  r.worst_slack = 0.0;
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    const double s = slack(a);
+    if (a == 0 || s < r.worst_slack) {
+      r.worst_slack = s;
+    }
+  }
+  return r;
+}
+
+}  // namespace mcfpga::timing

@@ -1,0 +1,152 @@
+// Incremental static timing analysis over a levelized DAG.
+//
+// The paper counts delay in switch-element pass-gate crossings, and the
+// optimization loops (timing-driven PathFinder, criticality-weighted
+// placement) need that number DURING optimization, not after it.  A
+// TimingGraph is built once per context — its topology (slots, I/O
+// terminals, routed connections) is fixed for the duration of one
+// negotiation — and only arc DELAYS change between rip-up iterations as
+// connections reroute.  analyze() therefore re-propagates incrementally:
+//
+//   * arrival times flow forward level by level from the endpoints of
+//     edited arcs, stopping wherever the recomputed maximum is unchanged;
+//   * required times flow backward the same way (or in one full pass when
+//     the critical path itself moved, since every sink's requirement is
+//     anchored to it);
+//   * per-arc slack and criticality in [0, 1] are derived on demand.
+//
+// Levels are assigned at construction (longest arc count from any
+// source), which both proves acyclicity and gives the bucket order that
+// makes incremental propagation a per-level worklist instead of a
+// priority queue.  All propagation is exact floating-point recomputation
+// — an incremental analyze() leaves bit-identical arrival/required arrays
+// to analyze_full(), which tests exploit as the oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcfpga::timing {
+
+/// One timing dependency: signal leaves `from`, arrives at `to` after
+/// `delay` (connection wire delay plus the sink's block delay, if any).
+struct Arc {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double delay = 0.0;
+};
+
+/// Snapshot of one full analysis (what the flow stores per context).
+struct TimingReport {
+  double critical_path = 0.0;
+  /// arrival[node] = latest signal arrival.
+  std::vector<double> arrival;
+  /// required[node] = latest tolerable arrival (anchored at the critical
+  /// path for every sink).
+  std::vector<double> required;
+  /// Nodes on (one) critical path, source first.
+  std::vector<std::size_t> critical_nodes;
+  std::size_t num_arcs = 0;
+  /// Worst slack over all arcs (0 when any arc is critical, and for a
+  /// graph with no arcs).
+  double worst_slack = 0.0;
+};
+
+class TimingGraph {
+ public:
+  TimingGraph() = default;
+
+  /// Levelizes the DAG; throws ProgrammingError on a combinational cycle
+  /// and InvalidArgument on an out-of-range arc endpoint.
+  TimingGraph(std::size_t num_nodes, std::vector<Arc> arcs);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+  const Arc& arc(std::size_t a) const { return arcs_[a]; }
+
+  /// Edits one arc's delay; the change takes effect at the next analyze().
+  void set_arc_delay(std::size_t a, double delay);
+
+  /// Propagates arrivals/requireds.  The first call (and any call after
+  /// analyze_full()) runs from scratch; subsequent calls re-propagate only
+  /// the cones reachable from edited arcs.
+  void analyze();
+
+  /// From-scratch propagation (the oracle the property tests compare
+  /// incremental analyze() against).
+  void analyze_full();
+
+  // --- queries; valid after analyze() --------------------------------------
+  double arrival(std::size_t n) const { return arrival_[n]; }
+  double required(std::size_t n) const { return required_[n]; }
+  double critical_path() const { return critical_path_; }
+
+  /// Slack of arc `a`: required(to) - arrival(from) - delay.  Zero on the
+  /// critical path, positive off it.
+  double slack(std::size_t a) const {
+    const Arc& arc = arcs_[a];
+    return required_[arc.to] - arrival_[arc.from] - arc.delay;
+  }
+
+  /// Criticality of arc `a` in [0, 1]: 1 - slack / critical_path, clamped.
+  /// 0 when the graph's critical path is zero (nothing to chase).
+  double criticality(std::size_t a) const {
+    if (critical_path_ <= 0.0) {
+      return 0.0;
+    }
+    const double c = 1.0 - slack(a) / critical_path_;
+    return c < 0.0 ? 0.0 : (c > 1.0 ? 1.0 : c);
+  }
+
+  /// Nodes on one critical path, source first (empty for an empty graph).
+  std::vector<std::size_t> critical_nodes() const;
+
+  /// Assembles the full per-context snapshot.
+  TimingReport report() const;
+
+ private:
+  void propagate_arrival_full();
+  void propagate_required_full();
+  /// Recomputes arrival[n] (and its critical predecessor) from in-arcs.
+  /// Returns true when the value changed.
+  bool recompute_arrival(std::uint32_t n);
+  /// Recomputes required[n] from out-arcs; true when changed.
+  bool recompute_required(std::uint32_t n);
+  void refresh_critical_path();
+
+  std::size_t num_nodes_ = 0;
+  std::vector<Arc> arcs_;
+
+  // CSR adjacency, built once: out-arcs by `from`, in-arcs by `to`.
+  std::vector<std::uint32_t> out_offset_, out_arc_;
+  std::vector<std::uint32_t> in_offset_, in_arc_;
+
+  /// level[n] = longest arc count from any source; arcs strictly increase
+  /// level, so ascending-level order is a topological order.
+  std::vector<std::uint32_t> level_;
+  std::size_t num_levels_ = 0;
+  /// Nodes grouped by level (the full-pass iteration order).
+  std::vector<std::uint32_t> by_level_;
+  std::vector<std::uint32_t> level_offset_;
+
+  std::vector<double> arrival_;
+  std::vector<double> required_;
+  /// critical_pred_[n] = in-arc achieving arrival[n] (SIZE_MAX at sources).
+  std::vector<std::size_t> critical_pred_;
+  double critical_path_ = 0.0;
+
+  // Incremental state: nodes whose arrival (forward) / required (backward)
+  // must be recomputed at the next analyze(), deduplicated by epoch stamp.
+  bool analyzed_ = false;
+  std::vector<std::uint32_t> dirty_forward_;
+  std::vector<std::uint32_t> dirty_backward_;
+  std::vector<std::uint64_t> forward_stamp_;
+  std::vector<std::uint64_t> backward_stamp_;
+  std::uint64_t epoch_ = 0;
+
+  // Scratch level buckets reused across analyze() calls.
+  std::vector<std::vector<std::uint32_t>> bucket_;
+};
+
+}  // namespace mcfpga::timing

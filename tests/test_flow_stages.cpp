@@ -83,6 +83,7 @@ TEST(FlowStages, StageByStageMatchesEndToEndCompile) {
   ClusterStage().run(ctx);
   PlaceStage().run(ctx);
   RouteStage().run(ctx);
+  TimingStage().run(ctx);
   ProgramStage().run(ctx);
   const CompiledDesign manual = finalize_design(std::move(ctx));
 
@@ -116,7 +117,7 @@ TEST(FlowStages, PipelineRecordsOneTimingPerStage) {
   ASSERT_EQ(d.stage_timings.size(), default_pipeline().size());
   const std::vector<std::string> expected = {
       "tech_map", "sharing", "plane_alloc", "cluster",
-      "place",    "route",   "program"};
+      "place",    "route",   "timing",      "program"};
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(d.stage_timings[i].name, expected[i]);
     EXPECT_GE(d.stage_timings[i].seconds, 0.0);
@@ -193,6 +194,69 @@ TEST(FlowStages, MultiRestartPlacementRecordsPerRestartTimings) {
     restarts_logged += t.name.rfind("place.restart", 0) == 0;
   }
   EXPECT_EQ(restarts_logged, 3u);
+}
+
+TEST(FlowStages, TimingStageReportsMatchContextStats) {
+  const CompiledDesign d = compile(four_context_workload(), small_spec());
+  ASSERT_EQ(d.timing_reports.size(), d.context_stats.size());
+  for (std::size_t c = 0; c < d.timing_reports.size(); ++c) {
+    const auto& r = d.timing_reports[c];
+    EXPECT_DOUBLE_EQ(r.critical_path, d.context_stats[c].critical_path);
+    EXPECT_GE(r.worst_slack, 0.0);
+    EXPECT_GT(r.num_arcs, 0u);
+    ASSERT_FALSE(r.critical_nodes.empty());
+    EXPECT_DOUBLE_EQ(r.arrival[r.critical_nodes.back()], r.critical_path);
+    ASSERT_EQ(r.arrival.size(), r.required.size());
+    for (std::size_t n = 0; n < r.arrival.size(); ++n) {
+      // Requirements are anchored at the critical path, so no node can be
+      // required before it arrives.
+      EXPECT_GE(r.required[n] - r.arrival[n], -1e-9);
+    }
+  }
+}
+
+TEST(FlowStages, RouterTimingSpecsInertWhenTimingModeOff) {
+  // Passing timing specs to a router whose timing_mode is off must leave
+  // the result bit-identical to routing without them (the regression
+  // guarantee that timing_mode=off preserves pre-timing behavior).
+  const auto nl = four_context_workload();
+  const auto spec = small_spec();
+  FlowContext ctx = make_flow_context(nl, spec, CompileOptions{});
+  TechMapStage().run(ctx);
+  SharingStage().run(ctx);
+  PlaneAllocStage().run(ctx);
+  ClusterStage().run(ctx);
+  PlaceStage().run(ctx);
+  RouteStage().run(ctx);  // routes with timing_mode off, specs unused
+  ASSERT_EQ(ctx.timing_specs.size(), nl.num_contexts());
+
+  const route::Router router(*ctx.graph, ctx.options.router);
+  const route::RouteResult with_specs =
+      router.route(ctx.nets_per_context, &ctx.timing_specs);
+  expect_same_routing(ctx.routing, with_specs);
+}
+
+TEST(FlowStages, TimingDrivenCompileDeterministicAcrossWorkerCounts) {
+  // Criticality refresh happens inside each context's own negotiation, so
+  // timing-driven routing stays bit-identical from serial to parallel.
+  const auto nl = four_context_workload();
+  const auto spec = small_spec();
+  CompileOptions serial;
+  serial.router.timing_mode = true;
+  serial.placer.timing_mode = true;
+  serial.router.num_threads = 1;
+  CompileOptions parallel = serial;
+  parallel.router.num_threads = 4;
+
+  const CompiledDesign ds = compile(nl, spec, serial);
+  const CompiledDesign dp = compile(nl, spec, parallel);
+  expect_same_routing(ds.routing, dp.routing);
+  expect_same_bitstream(ds.full_bitstream, dp.full_bitstream);
+  ASSERT_EQ(ds.timing_reports.size(), dp.timing_reports.size());
+  for (std::size_t c = 0; c < ds.timing_reports.size(); ++c) {
+    EXPECT_DOUBLE_EQ(ds.timing_reports[c].critical_path,
+                     dp.timing_reports[c].critical_path);
+  }
 }
 
 TEST(FlowStages, ParallelRoutingBitIdenticalAcrossWorkerCounts) {

@@ -1,0 +1,157 @@
+// Entry validation of RouterOptions / PlacerOptions: bad knob values used
+// to fail silently (or loop forever); now they raise InvalidArgument at
+// the API boundary.
+#include <gtest/gtest.h>
+
+#include "arch/routing_graph.hpp"
+#include "common/error.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+
+namespace mcfpga {
+namespace {
+
+arch::FabricSpec tiny_spec() {
+  arch::FabricSpec spec;
+  spec.width = 2;
+  spec.height = 2;
+  spec.channel_width = 4;
+  return spec;
+}
+
+TEST(RouterOptionsValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(route::RouterOptions{}.validate());
+}
+
+TEST(RouterOptionsValidation, RejectsZeroIterations) {
+  route::RouterOptions o;
+  o.max_iterations = 0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+}
+
+TEST(RouterOptionsValidation, RejectsNegativeIncrements) {
+  route::RouterOptions o;
+  o.history_increment = -1.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.present_factor_growth = 0.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.criticality_exponent = -2.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.max_criticality = 1.0;  // would erase congestion pressure entirely
+  EXPECT_THROW(o.validate(), InvalidArgument);
+}
+
+TEST(RouterOptionsValidation, RouterConstructorValidates) {
+  const arch::RoutingGraph graph(tiny_spec());
+  route::RouterOptions o;
+  o.max_iterations = 0;
+  EXPECT_THROW(route::Router(graph, o), InvalidArgument);
+}
+
+TEST(PlacerOptionsValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(place::PlacerOptions{}.validate());
+}
+
+TEST(PlacerOptionsValidation, RejectsZeroBudgets) {
+  place::PlacerOptions o;
+  o.sweeps = 0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.num_restarts = 0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+}
+
+TEST(PlacerOptionsValidation, RejectsBadWeightsAndSchedules) {
+  place::PlacerOptions o;
+  o.cooling = 0.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.cooling = 1.5;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.initial_temperature_factor = -0.1;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.timing_weight = -1.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+}
+
+TEST(PlacerOptionsValidation, PlaceValidatesAtEntry) {
+  const arch::RoutingGraph graph(tiny_spec());
+  place::PlacementProblem prob;
+  prob.num_clusters = 1;
+  place::PlacerOptions o;
+  o.seed = 1;
+  o.sweeps = 0;
+  EXPECT_THROW(place::place(prob, graph, o), InvalidArgument);
+}
+
+TEST(PlacerOptionsValidation, PlaceRejectsOutOfRangeCriticality) {
+  const arch::RoutingGraph graph(tiny_spec());
+  place::PlacementProblem prob;
+  prob.num_clusters = 2;
+  place::PlacementNet net;
+  net.driver = place::Terminal::cluster(0);
+  net.sinks = {place::Terminal::cluster(1)};
+  net.criticality = 1.5;
+  prob.nets.push_back(net);
+  place::PlacerOptions o;
+  o.seed = 1;
+  EXPECT_THROW(place::place(prob, graph, o), InvalidArgument);
+}
+
+place::PlacementProblem crit_problem() {
+  place::PlacementProblem prob;
+  prob.num_clusters = 4;
+  for (std::size_t i = 0; i + 1 < prob.num_clusters; ++i) {
+    place::PlacementNet net;
+    net.driver = place::Terminal::cluster(i);
+    net.sinks = {place::Terminal::cluster(i + 1)};
+    net.weight = 2;
+    net.criticality = 0.25 * static_cast<double>(i + 1);
+    prob.nets.push_back(net);
+  }
+  return prob;
+}
+
+TEST(PlacerTimingMode, CriticalitiesInertWhenOff) {
+  // With timing_mode off, net criticalities must not perturb the anneal:
+  // bit-identical placement to the same problem with zero criticalities.
+  const arch::RoutingGraph graph(tiny_spec());
+  place::PlacerOptions o;
+  o.seed = 3;
+  const place::PlacementProblem with_crit = crit_problem();
+  place::PlacementProblem without = with_crit;
+  for (auto& net : without.nets) {
+    net.criticality = 0.0;
+  }
+  const auto a = place::place(with_crit, graph, o);
+  const auto b = place::place(without, graph, o);
+  EXPECT_EQ(a.cluster_pos, b.cluster_pos);
+  EXPECT_EQ(a.io_pads, b.io_pads);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(PlacerTimingMode, CostMatchesWeightedOracle) {
+  const arch::RoutingGraph graph(tiny_spec());
+  place::PlacerOptions o;
+  o.seed = 3;
+  o.timing_mode = true;
+  o.timing_weight = 4.0;
+  const place::PlacementProblem prob = crit_problem();
+  const auto p = place::place(prob, graph, o);
+  EXPECT_DOUBLE_EQ(p.cost, place::placement_cost(prob, graph, p, o));
+  // A fully critical net weighs (1 + timing_weight)x its base weight.
+  place::PlacementNet net;
+  net.weight = 2;
+  net.criticality = 1.0;
+  EXPECT_EQ(place::effective_net_weight(net, o), 10);
+  net.criticality = 0.0;
+  EXPECT_EQ(place::effective_net_weight(net, o), 2);
+}
+
+}  // namespace
+}  // namespace mcfpga

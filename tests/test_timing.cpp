@@ -1,0 +1,237 @@
+// Property tests for the incremental STA engine (timing/timing_graph.hpp):
+// random levelized DAGs checked against a brute-force longest-path oracle,
+// and incremental re-propagation after arc-delay edits checked — exactly,
+// bit for bit — against from-scratch analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "timing/net_timing.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace mcfpga::timing {
+namespace {
+
+/// Random DAG: arcs always point from a lower to a higher node id, so
+/// acyclicity holds by construction.  Delays are multiples of 0.5, keeping
+/// every sum exactly representable.
+std::vector<Arc> random_dag(Rng& rng, std::size_t nodes, std::size_t arcs) {
+  std::vector<Arc> out;
+  for (std::size_t i = 0; i < arcs; ++i) {
+    const std::uint32_t a =
+        static_cast<std::uint32_t>(rng.next_below(nodes));
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(rng.next_below(nodes));
+    if (a == b) {
+      continue;
+    }
+    out.push_back(Arc{std::min(a, b), std::max(a, b),
+                      0.5 * static_cast<double>(rng.next_below(20))});
+  }
+  return out;
+}
+
+/// O(V * E) relaxation oracle for the longest-path arrivals.
+std::vector<double> oracle_arrival(std::size_t nodes,
+                                   const std::vector<Arc>& arcs) {
+  std::vector<double> arr(nodes, 0.0);
+  for (std::size_t pass = 0; pass < nodes; ++pass) {
+    bool changed = false;
+    for (const Arc& a : arcs) {
+      const double t = arr[a.from] + a.delay;
+      if (t > arr[a.to]) {
+        arr[a.to] = t;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return arr;
+}
+
+/// Backward oracle: sinks anchored at the critical path, everything else
+/// the minimum over out-arcs.
+std::vector<double> oracle_required(std::size_t nodes,
+                                    const std::vector<Arc>& arcs,
+                                    double critical_path) {
+  std::vector<double> req(nodes, critical_path);
+  for (std::size_t pass = 0; pass < nodes; ++pass) {
+    bool changed = false;
+    std::vector<bool> has_out(nodes, false);
+    std::vector<double> next(nodes, critical_path);
+    for (const Arc& a : arcs) {
+      const double t = req[a.to] - a.delay;
+      if (!has_out[a.from] || t < next[a.from]) {
+        next[a.from] = t;
+        has_out[a.from] = true;
+      }
+    }
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (next[n] != req[n]) {
+        req[n] = next[n];
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return req;
+}
+
+TEST(TimingGraph, MatchesBruteForceOracleOnRandomDags) {
+  Rng rng(99);
+  for (std::size_t trial = 0; trial < 60; ++trial) {
+    const std::size_t nodes = 2 + rng.next_below(40);
+    const std::vector<Arc> arcs = random_dag(rng, nodes, 3 * nodes);
+    TimingGraph g(nodes, arcs);
+    g.analyze();
+
+    const std::vector<double> arr = oracle_arrival(nodes, arcs);
+    double cp = 0.0;
+    for (const double a : arr) {
+      cp = std::max(cp, a);
+    }
+    EXPECT_EQ(g.critical_path(), cp);
+    const std::vector<double> req = oracle_required(nodes, arcs, cp);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      EXPECT_EQ(g.arrival(n), arr[n]) << "node " << n;
+      EXPECT_EQ(g.required(n), req[n]) << "node " << n;
+    }
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      // Slack is never negative (requirements are anchored at the critical
+      // path) and criticality always lands in [0, 1].
+      EXPECT_GE(g.slack(a), -1e-9);
+      EXPECT_GE(g.criticality(a), 0.0);
+      EXPECT_LE(g.criticality(a), 1.0);
+    }
+  }
+}
+
+TEST(TimingGraph, IncrementalRepropagationMatchesFromScratch) {
+  Rng rng(7);
+  for (std::size_t trial = 0; trial < 25; ++trial) {
+    const std::size_t nodes = 2 + rng.next_below(30);
+    std::vector<Arc> arcs = random_dag(rng, nodes, 3 * nodes);
+    TimingGraph inc(nodes, arcs);
+    inc.analyze();
+
+    for (std::size_t round = 0; round < 12; ++round) {
+      if (arcs.empty()) {
+        break;
+      }
+      // Edit a random handful of arc delays (including no-op edits).
+      const std::size_t edits = 1 + rng.next_below(4);
+      for (std::size_t e = 0; e < edits; ++e) {
+        const std::size_t a = rng.next_below(arcs.size());
+        const double d = 0.5 * static_cast<double>(rng.next_below(20));
+        arcs[a].delay = d;
+        inc.set_arc_delay(a, d);
+      }
+      inc.analyze();
+
+      TimingGraph fresh(nodes, arcs);
+      fresh.analyze();
+      ASSERT_EQ(inc.critical_path(), fresh.critical_path())
+          << "trial " << trial << " round " << round;
+      for (std::size_t n = 0; n < nodes; ++n) {
+        ASSERT_EQ(inc.arrival(n), fresh.arrival(n)) << "node " << n;
+        ASSERT_EQ(inc.required(n), fresh.required(n)) << "node " << n;
+      }
+      for (std::size_t a = 0; a < arcs.size(); ++a) {
+        ASSERT_EQ(inc.slack(a), fresh.slack(a)) << "arc " << a;
+        ASSERT_EQ(inc.criticality(a), fresh.criticality(a)) << "arc " << a;
+      }
+    }
+  }
+}
+
+TEST(TimingGraph, WorstSlackIsZeroWhenPathsExist) {
+  Rng rng(123);
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    const std::size_t nodes = 3 + rng.next_below(20);
+    std::vector<Arc> arcs = random_dag(rng, nodes, 2 * nodes);
+    for (Arc& a : arcs) {
+      a.delay += 1.0;  // strictly positive: the critical path is real
+    }
+    if (arcs.empty()) {
+      continue;
+    }
+    TimingGraph g(nodes, arcs);
+    g.analyze();
+    EXPECT_GT(g.critical_path(), 0.0);
+    // Some arc lies on the critical path, so the worst slack is exactly 0
+    // and that arc's criticality is exactly 1.
+    const TimingReport r = g.report();
+    EXPECT_EQ(r.worst_slack, 0.0);
+    double worst_crit = 0.0;
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      worst_crit = std::max(worst_crit, g.criticality(a));
+    }
+    EXPECT_EQ(worst_crit, 1.0);
+    ASSERT_GE(r.critical_nodes.size(), 2u);
+    EXPECT_EQ(g.arrival(r.critical_nodes.back()), g.critical_path());
+  }
+}
+
+TEST(TimingGraph, DetectsCycle) {
+  EXPECT_THROW(TimingGraph(2, {Arc{0, 1, 1.0}, Arc{1, 0, 1.0}}),
+               ProgrammingError);
+}
+
+TEST(TimingGraph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(TimingGraph(2, {Arc{0, 5, 1.0}}), InvalidArgument);
+}
+
+TEST(TimingGraph, RejectsOutOfRangeArcIndex) {
+  TimingGraph g(2, {Arc{0, 1, 1.0}});
+  EXPECT_THROW(g.set_arc_delay(3, 1.0), InvalidArgument);
+}
+
+TEST(TimingGraph, EmptyGraph) {
+  TimingGraph g(0, {});
+  g.analyze();
+  EXPECT_EQ(g.critical_path(), 0.0);
+  EXPECT_TRUE(g.critical_nodes().empty());
+}
+
+TEST(ConnectionArcs, RetimesConnectionsAndAggregatesCriticality) {
+  // Two nets: net 0 (slot 0 -> slots 1 and 2, one sink pin read by both),
+  // net 1 (slot 1 -> output terminal 3).
+  ContextTimingSpec spec;
+  spec.num_nodes = 4;
+  spec.se_delay = 1.0;
+  spec.lut_delay = 2.0;
+  spec.nets.resize(2);
+  spec.nets[0].sinks.resize(1);
+  spec.nets[0].sinks[0].readers = {SinkTiming::Reader{0, 1, true},
+                                   SinkTiming::Reader{0, 2, true}};
+  spec.nets[1].sinks.resize(1);
+  spec.nets[1].sinks[0].readers = {SinkTiming::Reader{1, 3, false}};
+
+  const ConnectionArcs arcs(spec);
+  ASSERT_EQ(arcs.num_connections(), 2u);
+  ASSERT_EQ(arcs.arcs().size(), 3u);
+
+  TimingGraph g(spec.num_nodes, arcs.arcs());
+  g.analyze();
+  // Unit-switch prior: 0 -> 1/2 costs 1 + 2, 1 -> 3 costs 1.
+  EXPECT_EQ(g.critical_path(), 4.0);
+
+  // Reroute net 0's connection through 5 switches.
+  arcs.set_connection_switches(g, arcs.connection(0, 0), 5);
+  g.analyze();
+  EXPECT_EQ(g.critical_path(), (5.0 + 2.0) + 1.0);
+  // Both readers of the rerouted connection are critical or near-critical;
+  // the aggregate is the worst of the two.
+  const double c = arcs.connection_criticality(g, arcs.connection(0, 0));
+  EXPECT_EQ(c, 1.0);
+}
+
+}  // namespace
+}  // namespace mcfpga::timing
