@@ -246,6 +246,78 @@ int main(int argc, char** argv) {
               << improved << "/" << tw.size() << " workloads.\n\n";
   }
 
+  // --- Timing-closure loop -------------------------------------------------
+  // place -> route -> STA -> re-place (CompileOptions::closure_iterations)
+  // with a VPR-style criticality-exponent ramp, vs the one-shot flow on
+  // identical options.  One BENCH_JSON line per closure iteration records
+  // the iterations-vs-slack/wirelength trajectory; the gate (a non-zero
+  // exit) enforces that closure never finishes with worse worst slack
+  // than one-shot.
+  {
+    struct ClosureWorkload {
+      std::string name;
+      netlist::MultiContextNetlist nl;
+    };
+    std::vector<ClosureWorkload> cw;
+    cw.push_back({"pipeline(4,8)", workload::pipeline_workload(4, 8)});
+    if (!smoke) {
+      netlist::MultiContextNetlist mixed(4);
+      mixed.context(0) = workload::ripple_carry_adder(3);
+      mixed.context(1) = workload::comparator(5);
+      mixed.context(2) = workload::parity_tree(8);
+      mixed.context(3) = workload::crc_step(6, 0b000011);
+      cw.push_back({"heterogeneous", std::move(mixed)});
+    }
+
+    const auto worst_path = [](const core::CompiledDesign& d) {
+      double worst = 0.0;
+      for (const auto& s : d.context_stats) {
+        worst = std::max(worst, s.critical_path);
+      }
+      return worst;
+    };
+
+    Table ct({"workload", "crit path (one-shot)", "crit path (closure)",
+              "iters run", "improvement"});
+    bool gate_ok = true;
+    for (const auto& w : cw) {
+      core::CompileOptions one_shot;
+      one_shot.placer.timing_mode = true;
+      one_shot.router.timing_mode = true;
+      one_shot.router.criticality_exponent_schedule = {1.0, 0.5, 4.0};
+      core::CompileOptions closed = one_shot;
+      closed.closure_iterations = smoke ? 3 : 4;
+
+      const auto d_one = core::compile(w.nl, spec, one_shot);
+      const auto d_closed = core::compile(w.nl, spec, closed);
+      const double p_one = worst_path(d_one);
+      const double p_closed = worst_path(d_closed);
+      gate_ok &= p_closed <= p_one + 1e-9;
+
+      for (const auto& s : d_closed.closure_stats) {
+        bench::json_line(
+            "closure_" + w.name + "_iter" + std::to_string(s.iteration),
+            s.iteration, s.seconds * 1e3, s.worst_slack,
+            "\"critical_path\":" + std::to_string(s.critical_path) +
+                ",\"wirelength\":" + std::to_string(s.wirelength));
+      }
+      ct.add_row({w.name, fmt_double(p_one, 1), fmt_double(p_closed, 1),
+                  std::to_string(d_closed.closure_stats.size()),
+                  fmt_percent(p_one > 0.0 ? (p_one - p_closed) / p_one
+                                          : 0.0)});
+    }
+    std::cout << "\ntiming-closure loop (place -> route -> STA -> re-place) "
+                 "vs one-shot:\n";
+    ct.print(std::cout);
+    if (!gate_ok) {
+      std::cout << "FAIL: closure finished with a worse critical path than "
+                   "one-shot\n";
+      return 1;
+    }
+    std::cout << "closure never finished worse than one-shot on "
+              << cw.size() << " workload(s).\n\n";
+  }
+
   if (!smoke) {
     // Detailed report for one design.
     const core::MCFPGA chip(workload::pipeline_workload(4, 6), spec);

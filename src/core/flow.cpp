@@ -1,5 +1,6 @@
 #include "core/flow.hpp"
 
+#include "core/closure.hpp"
 #include "core/stages.hpp"
 
 namespace mcfpga::core {
@@ -8,7 +9,11 @@ CompiledDesign compile(const netlist::MultiContextNetlist& netlist,
                        const arch::FabricSpec& spec,
                        const CompileOptions& options) {
   FlowContext ctx = make_flow_context(netlist, spec, options);
-  run_pipeline(ctx, default_pipeline());
+  // One-shot compiles take the plain eight-stage pipeline (the closure
+  // pipeline's single iteration is bit-identical, but keeping the default
+  // path byte-for-byte untouched makes the equivalence easy to audit).
+  run_pipeline(ctx, options.closure_iterations >= 2 ? closure_pipeline()
+                                                    : default_pipeline());
   return finalize_design(std::move(ctx));
 }
 

@@ -19,9 +19,13 @@
 //   ProgramStage    — LUT plane tables, switch patterns, pad bindings,
 //                     full fabric bitstream.
 //
-// compile() runs the default pipeline end to end; callers that want stage
-// reuse, ablation benches, or batch compilation drive the stages directly
-// via core/stages.hpp.  The result carries everything needed to simulate,
+// compile() runs the default pipeline end to end; with
+// CompileOptions::closure_iterations >= 2 the Place/Route/Timing block is
+// replaced by the timing-closure loop (core/closure.hpp), which feeds
+// post-route criticalities back into re-placement and re-routing until
+// worst slack stops improving.  Callers that want stage reuse, ablation
+// benches, or batch compilation drive the stages directly via
+// core/stages.hpp.  The result carries everything needed to simulate,
 // time, and price the design on both fabrics.
 #pragma once
 
@@ -53,6 +57,19 @@ struct CompileOptions {
   sim::DelayParams delay{};
   /// Grow the fabric (square-ish) until clusters and I/O fit.
   bool auto_size = true;
+  /// Timing-closure feedback loop: total place -> route -> STA iterations.
+  /// 1 (default) = the plain one-shot pipeline, bit-identical to the
+  /// eight-stage flow.  >= 2 folds post-route connection criticalities
+  /// back into the placer's net weights, re-anneals at reduced
+  /// temperature from the previous placement, and re-routes with the
+  /// router's congestion history carried across iterations; the
+  /// best-worst-slack iteration wins, so closure never ends worse than
+  /// one-shot.
+  std::size_t closure_iterations = 1;
+  /// Minimum worst-slack improvement (SE delay units) a closure iteration
+  /// must deliver over the best so far for the loop to continue; 0 =
+  /// keep iterating while there is any strict improvement.
+  double closure_slack_tolerance = 0.0;
 };
 
 /// One logic block's worth of slots.
@@ -79,6 +96,20 @@ struct StageTiming {
   double seconds = 0.0;
 };
 
+/// Outcome of one place -> route -> STA closure iteration (filled by the
+/// ClosureLoopStage; one entry per executed iteration, including
+/// non-improving ones, so the iterations-vs-slack curve is recorded).
+/// The slack budget is anchored at iteration 1's worst context critical
+/// path: worst_slack = budget - critical_path, so iteration 1 scores
+/// exactly 0 and every improvement is positive.
+struct ClosureIterationStats {
+  std::size_t iteration = 0;   ///< 1-based loop iteration.
+  double critical_path = 0.0;  ///< Worst critical path over contexts.
+  double worst_slack = 0.0;    ///< Iteration-1 budget minus critical_path.
+  std::size_t wirelength = 0;  ///< Wire nodes used, summed over contexts.
+  double seconds = 0.0;        ///< Wall clock of the whole iteration.
+};
+
 struct CompiledDesign {
   arch::FabricSpec fabric;               ///< Possibly auto-grown.
   netlist::MultiContextNetlist netlist;  ///< Post tech-map.
@@ -102,6 +133,8 @@ struct CompiledDesign {
   /// Per-context STA snapshot from the Timing stage (arrival/required per
   /// timing node, slacks, critical path).
   std::vector<timing::TimingReport> timing_reports;
+  /// One entry per closure-loop iteration (empty for one-shot compiles).
+  std::vector<ClosureIterationStats> closure_stats;
 
   /// Per-stage wall-clock of the pipeline that produced this design.
   std::vector<StageTiming> stage_timings;

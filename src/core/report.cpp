@@ -44,6 +44,17 @@ void print_design_report(std::ostream& os, const CompiledDesign& design) {
   }
   ct.print(os);
 
+  if (!design.closure_stats.empty()) {
+    Table cl({"closure iter", "critical path", "worst slack", "wirelength",
+              "ms"});
+    for (const auto& s : design.closure_stats) {
+      cl.add_row({std::to_string(s.iteration),
+                  fmt_double(s.critical_path, 1), fmt_double(s.worst_slack, 1),
+                  fmt_count(s.wirelength), fmt_double(s.seconds * 1e3, 2)});
+    }
+    cl.print(os);
+  }
+
   const config::BitstreamStats stats =
       config::compute_stats(design.full_bitstream);
   config::print_stats(os, stats, "fabric bitstream statistics");

@@ -201,6 +201,77 @@ void ClusterStage::run(FlowContext& ctx) const {
 
 // --- PlaceStage --------------------------------------------------------------
 
+PlacementBuild build_placement_problem(const FlowContext& ctx) {
+  PlacementBuild out;
+  place::PlacementProblem& prob = out.problem;
+  prob.num_clusters = ctx.clusters.size();
+  prob.num_io_terminals = ctx.num_terminals;
+
+  // One placement net per driver class that anything reads.
+  struct NetAccum {
+    place::Terminal driver;
+    std::vector<place::Terminal> sinks;
+    std::size_t weight = 0;
+  };
+  std::map<std::size_t, NetAccum> by_class;
+  const auto driver_terminal = [&](std::size_t cls) {
+    const auto it = ctx.input_class_terminal.find(cls);
+    if (it != ctx.input_class_terminal.end()) {
+      return place::Terminal::io(it->second);
+    }
+    return place::Terminal::cluster(
+        ctx.slot_cluster[ctx.planes.slot_of_class.at(cls)]);
+  };
+  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+    for (const std::size_t sig : ctx.clusters[k].pin_signals) {
+      auto& acc = by_class[sig];
+      if (acc.sinks.empty() && acc.weight == 0) {
+        acc.driver = driver_terminal(sig);
+      }
+      acc.sinks.push_back(place::Terminal::cluster(k));
+      ++acc.weight;
+    }
+  }
+  for (const auto& [name, drivers] : ctx.output_driver) {
+    const std::size_t term = ctx.output_terminals.at(name);
+    for (const std::size_t cls : drivers) {
+      if (cls == SIZE_MAX) {
+        continue;
+      }
+      auto& acc = by_class[cls];
+      if (acc.sinks.empty() && acc.weight == 0) {
+        acc.driver = driver_terminal(cls);
+      }
+      acc.sinks.push_back(place::Terminal::io(term));
+      ++acc.weight;
+    }
+  }
+  for (auto& [cls, acc] : by_class) {
+    place::PlacementNet net;
+    net.driver = acc.driver;
+    net.sinks = std::move(acc.sinks);
+    net.weight = std::max<std::size_t>(acc.weight, 1);
+    prob.nets.push_back(std::move(net));
+    out.net_class.push_back(cls);
+  }
+  return out;
+}
+
+void apply_class_criticality(PlacementBuild& build,
+                             const std::map<std::size_t, double>& by_class) {
+  for (std::size_t i = 0; i < build.problem.nets.size(); ++i) {
+    const auto it = by_class.find(build.net_class[i]);
+    build.problem.nets[i].criticality =
+        it != by_class.end() ? it->second : 0.0;
+  }
+}
+
+std::uint64_t resolved_placer_seed(const CompileOptions& options) {
+  return options.placer.seed == place::PlacerOptions::kSeedFromFlow
+             ? options.seed
+             : options.placer.seed;
+}
+
 void PlaceStage::run(FlowContext& ctx) const {
   if (ctx.options.auto_size) {
     while (ctx.spec.num_cells() < ctx.clusters.size() ||
@@ -224,96 +295,47 @@ void PlaceStage::run(FlowContext& ctx) const {
     throw FlowError("fabric has too few I/O pads");
   }
 
-  place::PlacementProblem prob;
-  prob.num_clusters = ctx.clusters.size();
-  prob.num_io_terminals = ctx.num_terminals;
-  {
-    // One placement net per driver class that anything reads.
-    struct NetAccum {
-      place::Terminal driver;
-      std::vector<place::Terminal> sinks;
-      std::size_t weight = 0;
-    };
-    std::map<std::size_t, NetAccum> by_class;
-    const auto driver_terminal = [&](std::size_t cls) {
-      const auto it = ctx.input_class_terminal.find(cls);
-      if (it != ctx.input_class_terminal.end()) {
-        return place::Terminal::io(it->second);
-      }
-      return place::Terminal::cluster(
-          ctx.slot_cluster[ctx.planes.slot_of_class.at(cls)]);
-    };
-    for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
-      for (const std::size_t sig : ctx.clusters[k].pin_signals) {
-        auto& acc = by_class[sig];
-        if (acc.sinks.empty() && acc.weight == 0) {
-          acc.driver = driver_terminal(sig);
-        }
-        acc.sinks.push_back(place::Terminal::cluster(k));
-        ++acc.weight;
-      }
-    }
-    for (const auto& [name, drivers] : ctx.output_driver) {
-      const std::size_t term = ctx.output_terminals.at(name);
-      for (const std::size_t cls : drivers) {
-        if (cls == SIZE_MAX) {
-          continue;
-        }
-        auto& acc = by_class[cls];
-        if (acc.sinks.empty() && acc.weight == 0) {
-          acc.driver = driver_terminal(cls);
-        }
-        acc.sinks.push_back(place::Terminal::io(term));
-        ++acc.weight;
-      }
-    }
-    // Pre-route timing-driven weighting: with no routing yet, the honest
-    // criticality is logic depth — the unit-switch STA prior.  Worst
-    // criticality over a class's connections and contexts bumps its
-    // placement net, pulling deep paths tight before the router sees them.
+  PlacementBuild build = build_placement_problem(ctx);
+  place::PlacementProblem& prob = build.problem;
+  // Pre-route timing-driven weighting: with no routing yet, the honest
+  // criticality is logic depth — the unit-switch STA prior.  Worst
+  // criticality over a class's connections and contexts bumps its
+  // placement net, pulling deep paths tight before the router sees them.
+  if (ctx.options.placer.timing_mode) {
+    // Cache the structure for RouteStage — it depends only on the
+    // clustering, not on the placement this stage is about to produce.
+    ctx.flow_timing = std::make_shared<FlowTiming>(build_flow_timing(ctx));
+    const FlowTiming& ft = *ctx.flow_timing;
     std::map<std::size_t, double> class_criticality;
-    if (ctx.options.placer.timing_mode) {
-      // Cache the structure for RouteStage — it depends only on the
-      // clustering, not on the placement this stage is about to produce.
-      ctx.flow_timing = std::make_shared<FlowTiming>(build_flow_timing(ctx));
-      const FlowTiming& ft = *ctx.flow_timing;
-      for (std::size_t c = 0; c < ctx.spec.num_contexts; ++c) {
-        const timing::ConnectionArcs arcs(ft.specs[c]);
-        timing::TimingGraph sta(ft.specs[c].num_nodes, arcs.arcs());
-        sta.analyze();
-        for (std::size_t i = 0; i < ft.specs[c].nets.size(); ++i) {
-          double crit = 0.0;
-          for (std::size_t j = 0; j < ft.specs[c].nets[i].sinks.size(); ++j) {
-            crit = std::max(crit, arcs.connection_criticality(
-                                      sta, arcs.connection(i, j)));
-          }
-          auto [it, inserted] =
-              class_criticality.emplace(ft.net_class[c][i], crit);
-          if (!inserted) {
-            it->second = std::max(it->second, crit);
-          }
+    for (std::size_t c = 0; c < ctx.spec.num_contexts; ++c) {
+      const timing::ConnectionArcs arcs(ft.specs[c]);
+      timing::TimingGraph sta(ft.specs[c].num_nodes, arcs.arcs());
+      sta.analyze();
+      for (std::size_t i = 0; i < ft.specs[c].nets.size(); ++i) {
+        double crit = 0.0;
+        for (std::size_t j = 0; j < ft.specs[c].nets[i].sinks.size(); ++j) {
+          crit = std::max(crit, arcs.connection_criticality(
+                                    sta, arcs.connection(i, j)));
+        }
+        auto [it, inserted] =
+            class_criticality.emplace(ft.net_class[c][i], crit);
+        if (!inserted) {
+          it->second = std::max(it->second, crit);
         }
       }
     }
-    for (auto& [cls, acc] : by_class) {
-      place::PlacementNet net;
-      net.driver = acc.driver;
-      net.sinks = std::move(acc.sinks);
-      net.weight = std::max<std::size_t>(acc.weight, 1);
-      const auto crit = class_criticality.find(cls);
-      if (crit != class_criticality.end()) {
-        net.criticality = crit->second;
-      }
-      prob.nets.push_back(std::move(net));
-    }
+    apply_class_criticality(build, class_criticality);
   }
   place::PlacerOptions placer_options = ctx.options.placer;
   // Default the placer seed from the flow seed only when the caller left it
   // unset, so placement can be varied independently of the rest of the flow.
-  if (placer_options.seed == place::PlacerOptions::kSeedFromFlow) {
-    placer_options.seed = ctx.options.seed;
-  }
+  placer_options.seed = resolved_placer_seed(ctx.options);
   ctx.placement = place::place(prob, *ctx.graph, placer_options);
+  if (ctx.options.closure_iterations >= 2) {
+    // Cache the problem for the closure loop's re-places — like
+    // flow_timing, it depends only on the clustering.
+    ctx.placement_build = std::make_shared<PlacementBuild>(std::move(build));
+  }
   if (ctx.placement.restart_stats.size() > 1) {
     for (std::size_t r = 0; r < ctx.placement.restart_stats.size(); ++r) {
       ctx.stage_timings.push_back(
@@ -325,7 +347,8 @@ void PlaceStage::run(FlowContext& ctx) const {
 
 // --- RouteStage --------------------------------------------------------------
 
-void RouteStage::run(FlowContext& ctx) const {
+std::vector<std::vector<route::RouteNet>> build_route_nets(
+    const FlowContext& ctx) {
   const std::size_t n = ctx.spec.num_contexts;
   const arch::RoutingGraph& graph = *ctx.graph;
 
@@ -350,34 +373,47 @@ void RouteStage::run(FlowContext& ctx) const {
     return graph.in_pin(x, y, key.pin);
   };
 
+  std::vector<std::vector<route::RouteNet>> nets(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    nets[c].reserve(ctx.net_class[c].size());
+    for (std::size_t i = 0; i < ctx.net_class[c].size(); ++i) {
+      route::RouteNet net;
+      net.name = "net_cls" + std::to_string(ctx.net_class[c][i]);
+      net.source = class_driver_node(ctx.net_class[c][i]);
+      net.sinks.reserve(ctx.sink_keys[c][i].size());
+      for (const SinkKey& key : ctx.sink_keys[c][i]) {
+        net.sinks.push_back(sink_node(key));
+      }
+      nets[c].push_back(std::move(net));
+    }
+  }
+  return nets;
+}
+
+void RouteStage::run(FlowContext& ctx) const {
   // One logical walk yields both the physical net lists and the timing
   // specs; net/sink indices of the two are aligned by construction.
   // PlaceStage may have cached the walk (it is placement-independent).
+  // The logical halves (net_class, sink_keys) stay in the context so the
+  // closure loop can rebuild nets after a re-place.
   FlowTiming local_timing;
   FlowTiming& ft =
       ctx.flow_timing ? *ctx.flow_timing
                       : (local_timing = build_flow_timing(ctx), local_timing);
   ctx.timing_specs = std::move(ft.specs);
-  ctx.nets_per_context.assign(n, {});
-  for (std::size_t c = 0; c < n; ++c) {
-    ctx.nets_per_context[c].reserve(ft.net_class[c].size());
-    for (std::size_t i = 0; i < ft.net_class[c].size(); ++i) {
-      route::RouteNet net;
-      net.name = "net_cls" + std::to_string(ft.net_class[c][i]);
-      net.source = class_driver_node(ft.net_class[c][i]);
-      net.sinks.reserve(ft.sink_keys[c][i].size());
-      for (const SinkKey& key : ft.sink_keys[c][i]) {
-        net.sinks.push_back(sink_node(key));
-      }
-      ctx.nets_per_context[c].push_back(std::move(net));
-    }
-  }
-  ctx.flow_timing.reset();  // specs were moved out; the cache is spent
+  ctx.net_class = std::move(ft.net_class);
+  ctx.sink_keys = std::move(ft.sink_keys);
+  ctx.flow_timing.reset();  // contents were moved out; the cache is spent
 
-  const route::Router router(graph, ctx.options.router);
+  ctx.nets_per_context = build_route_nets(ctx);
+  const route::Router router(*ctx.graph, ctx.options.router);
+  // The history carry only matters when the loop will route again; the
+  // extra output does not perturb the routing itself.
+  route::RouteHistory* history =
+      ctx.options.closure_iterations >= 2 ? &ctx.route_history : nullptr;
   ctx.routing = router.route(
       ctx.nets_per_context,
-      ctx.options.router.timing_mode ? &ctx.timing_specs : nullptr);
+      ctx.options.router.timing_mode ? &ctx.timing_specs : nullptr, history);
   if (!ctx.routing.success) {
     throw FlowError("routing failed to converge (congestion)");
   }
@@ -520,6 +556,10 @@ FlowContext make_flow_context(const netlist::MultiContextNetlist& netlist,
   ctx.options = options;
   MCFPGA_REQUIRE(netlist.num_contexts() == ctx.spec.num_contexts,
                  "netlist context count must match the fabric");
+  MCFPGA_REQUIRE(options.closure_iterations >= 1,
+                 "closure loop needs at least one iteration");
+  MCFPGA_REQUIRE(options.closure_slack_tolerance >= 0.0,
+                 "closure_slack_tolerance must be non-negative");
   return ctx;
 }
 
@@ -564,6 +604,7 @@ CompiledDesign finalize_design(FlowContext&& ctx) {
   d.full_bitstream = std::move(ctx.full_bitstream);
   d.context_stats = std::move(ctx.context_stats);
   d.timing_reports = std::move(ctx.timing_reports);
+  d.closure_stats = std::move(ctx.closure_stats);
   d.stage_timings = std::move(ctx.stage_timings);
   d.input_terminals = std::move(ctx.input_terminals);
   d.output_terminals = std::move(ctx.output_terminals);

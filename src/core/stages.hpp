@@ -13,7 +13,8 @@
 //   PlaneAllocStage -> ctx.planes
 //   ClusterStage    -> ctx.clusters, slot maps, I/O terminal tables
 //   PlaceStage      -> ctx.spec (auto-grown), ctx.graph, ctx.placement
-//   RouteStage      -> ctx.nets_per_context, ctx.timing_specs, ctx.routing
+//   RouteStage      -> ctx.nets_per_context, ctx.timing_specs,
+//                      ctx.net_class, ctx.sink_keys, ctx.routing
 //   TimingStage     -> ctx.timing_reports, ctx.context_stats
 //   ProgramStage    -> ctx.program, ctx.full_bitstream
 //
@@ -21,6 +22,9 @@
 // logic-depth criticality when options.placer.timing_mode is set, and
 // RouteStage hands its timing specs to the router when
 // options.router.timing_mode is set (criticality-driven PathFinder).
+// With CompileOptions::closure_iterations >= 2 the Place/Route/Timing
+// block is driven by the ClosureLoopStage (core/closure.hpp), which
+// feeds POST-route criticalities back into re-placement and re-routing.
 //
 // run_pipeline() times every stage into ctx.stage_timings.
 #pragma once
@@ -36,6 +40,29 @@
 namespace mcfpga::core {
 
 struct FlowTiming;  // core/timing_build.hpp
+
+/// Logical sink of one routed connection, placement-independent: the
+/// compile flow keeps these keys (alongside the driving classes) so a
+/// closure-loop re-place can rebuild the physical RouteNet lists without
+/// re-walking the clustered netlist.
+struct SinkKey {
+  enum class Kind : std::uint8_t { kPin, kPad };
+  Kind kind = Kind::kPin;
+  std::size_t cluster = 0;   ///< kPin: cluster index.
+  std::size_t pin = 0;       ///< kPin: LB input pin.
+  std::size_t terminal = 0;  ///< kPad: I/O terminal index.
+};
+
+/// Placement problem of a clustered flow, one net per driver class that
+/// anything reads, in ascending class order; net_class[i] is the driving
+/// class of problem.nets[i].  build_placement_problem() leaves every
+/// criticality at zero, but a consumer must NOT assume they still are
+/// (PlaceStage caches its build after folding logic-depth values in) —
+/// always overwrite them via apply_class_criticality() before placing.
+struct PlacementBuild {
+  place::PlacementProblem problem;
+  std::vector<std::size_t> net_class;
+};
 
 /// Carries all intermediate artifacts of one compilation.
 struct FlowContext {
@@ -75,17 +102,35 @@ struct FlowContext {
   /// is placement-independent); RouteStage consumes and clears it,
   /// building its own when absent.
   std::shared_ptr<FlowTiming> flow_timing;
+  /// Placement problem cached by PlaceStage for the closure loop (it
+  /// depends only on the clustering; net criticalities carry whatever
+  /// PlaceStage last applied and must be overwritten per use).  The loop
+  /// consumes and clears it, rebuilding when absent.
+  std::shared_ptr<PlacementBuild> placement_build;
 
   // --- RouteStage ---------------------------------------------------------
   std::vector<std::vector<route::RouteNet>> nets_per_context;
   /// Per-context connection timing structure, parallel to
   /// nets_per_context (specs[c].nets[i].sinks[j] times connection (i, j)).
   std::vector<timing::ContextTimingSpec> timing_specs;
+  /// net_class[c][i] = driving class of context c's net i — the logical
+  /// net identity shared with the placement problem's nets.
+  std::vector<std::vector<std::size_t>> net_class;
+  /// sink_keys[c][i][j] = logical sink of connection (i, j); with the
+  /// placement they regenerate nets_per_context (build_route_nets).
+  std::vector<std::vector<std::vector<SinkKey>>> sink_keys;
   route::RouteResult routing;
+  /// Cross-iteration PathFinder history (closure loop only; RouteStage
+  /// threads it through the router when closure_iterations >= 2).
+  route::RouteHistory route_history;
 
   // --- TimingStage --------------------------------------------------------
   std::vector<timing::TimingReport> timing_reports;
   std::vector<ContextStats> context_stats;
+
+  // --- ClosureLoopStage ---------------------------------------------------
+  /// One entry per executed closure iteration (empty in one-shot flows).
+  std::vector<ClosureIterationStats> closure_stats;
 
   // --- ProgramStage -------------------------------------------------------
   sim::FabricProgram program;
@@ -151,6 +196,28 @@ class ProgramStage : public Stage {
   const char* name() const override { return "program"; }
   void run(FlowContext& ctx) const override;
 };
+
+/// Builds the placement problem from a FlowContext that has run
+/// ClusterStage (used by PlaceStage and by closure-loop re-placement).
+PlacementBuild build_placement_problem(const FlowContext& ctx);
+
+/// Overwrites every net's criticality from the per-class map (0 for
+/// absent classes), so a PlacementBuild can be reused across closure
+/// iterations.  Shared by PlaceStage (pre-route logic depth) and the
+/// closure loop (post-route STA).
+void apply_class_criticality(PlacementBuild& build,
+                             const std::map<std::size_t, double>& by_class);
+
+/// The annealing seed the flow hands the placer: options.placer.seed,
+/// with the kSeedFromFlow sentinel resolved to the flow seed.  Shared by
+/// PlaceStage and the closure loop so their seed derivations never drift.
+std::uint64_t resolved_placer_seed(const CompileOptions& options);
+
+/// Maps the logical nets (ctx.net_class / ctx.sink_keys, filled by
+/// RouteStage) onto physical routing-graph nodes under ctx.placement —
+/// the re-route half of a closure iteration.
+std::vector<std::vector<route::RouteNet>> build_route_nets(
+    const FlowContext& ctx);
 
 /// Seeds a context from the flow inputs (validates both).
 FlowContext make_flow_context(const netlist::MultiContextNetlist& netlist,

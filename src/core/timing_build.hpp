@@ -24,14 +24,9 @@
 
 namespace mcfpga::core {
 
-/// Logical sink of one routed connection.
-struct SinkKey {
-  enum class Kind : std::uint8_t { kPin, kPad };
-  Kind kind = Kind::kPin;
-  std::size_t cluster = 0;   ///< kPin: cluster index.
-  std::size_t pin = 0;       ///< kPin: LB input pin.
-  std::size_t terminal = 0;  ///< kPad: I/O terminal index.
-};
+// SinkKey (the logical sink of one routed connection) lives in
+// core/stages.hpp — FlowContext retains the keys across closure-loop
+// iterations.
 
 /// Per-context connection structure, nets in ascending driver-class order
 /// (the order RouteStage emits RouteNets in).

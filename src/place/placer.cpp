@@ -58,27 +58,41 @@ double adaptive_cooling_factor(double accept_rate) {
 /// whether options.incremental is set or not.
 Placement anneal_one(const PlacementProblem& problem, const Geometry& geom,
                      const NetIndex& index, const PlacerOptions& options,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, const Placement* initial) {
   Rng rng(seed);
   const std::size_t width = geom.width;
 
-  // Initial placement: clusters in scan order, I/Os round-robin over pads.
+  // Initial placement: the warm-start placement when one is given (the
+  // closure loop's re-place), otherwise clusters in scan order and I/Os
+  // round-robin over pads.
   std::vector<std::size_t> cluster_cell(problem.num_clusters);
   std::vector<std::size_t> cell_cluster(geom.cells, SIZE_MAX);
-  for (std::size_t i = 0; i < problem.num_clusters; ++i) {
-    cluster_cell[i] = i;
-    cell_cluster[i] = i;
-  }
   std::vector<std::size_t> io_pad(problem.num_io_terminals);
   std::vector<std::size_t> pad_io(geom.pads, SIZE_MAX);
-  for (std::size_t i = 0; i < problem.num_io_terminals; ++i) {
-    io_pad[i] =
-        (i * geom.pads) / std::max<std::size_t>(problem.num_io_terminals, 1);
-    // Resolve collisions linearly.
-    while (pad_io[io_pad[i]] != SIZE_MAX) {
-      io_pad[i] = (io_pad[i] + 1) % geom.pads;
+  if (initial != nullptr) {
+    for (std::size_t i = 0; i < problem.num_clusters; ++i) {
+      const auto [x, y] = initial->cluster_pos[i];
+      cluster_cell[i] = y * width + x;
+      cell_cluster[cluster_cell[i]] = i;
     }
-    pad_io[io_pad[i]] = i;
+    for (std::size_t i = 0; i < problem.num_io_terminals; ++i) {
+      io_pad[i] = initial->io_pads[i];
+      pad_io[io_pad[i]] = i;
+    }
+  } else {
+    for (std::size_t i = 0; i < problem.num_clusters; ++i) {
+      cluster_cell[i] = i;
+      cell_cluster[i] = i;
+    }
+    for (std::size_t i = 0; i < problem.num_io_terminals; ++i) {
+      io_pad[i] =
+          (i * geom.pads) / std::max<std::size_t>(problem.num_io_terminals, 1);
+      // Resolve collisions linearly.
+      while (pad_io[io_pad[i]] != SIZE_MAX) {
+        io_pad[i] = (io_pad[i] + 1) % geom.pads;
+      }
+      pad_io[io_pad[i]] = i;
+    }
   }
 
   IncrementalHpwl hp(index);
@@ -299,8 +313,31 @@ double placement_cost(const PlacementProblem& problem,
 
 Placement place(const PlacementProblem& problem,
                 const arch::RoutingGraph& graph,
-                const PlacerOptions& options) {
+                const PlacerOptions& options, const Placement* initial) {
   options.validate();
+  if (initial != nullptr) {
+    MCFPGA_REQUIRE(initial->cluster_pos.size() == problem.num_clusters &&
+                       initial->io_pads.size() == problem.num_io_terminals,
+                   "warm-start placement must match the problem");
+    // Positions must land on this fabric with no overlaps: a placement
+    // from a differently-sized fabric would index the occupancy maps out
+    // of range inside the anneal.
+    std::vector<std::uint8_t> cell_used(graph.spec().num_cells(), 0);
+    for (const auto& [x, y] : initial->cluster_pos) {
+      MCFPGA_REQUIRE(x < graph.spec().width && y < graph.spec().height,
+                     "warm-start cluster position outside the fabric");
+      std::uint8_t& used = cell_used[y * graph.spec().width + x];
+      MCFPGA_REQUIRE(used == 0, "warm-start clusters overlap");
+      used = 1;
+    }
+    std::vector<std::uint8_t> pad_used(graph.num_pads(), 0);
+    for (const std::size_t p : initial->io_pads) {
+      MCFPGA_REQUIRE(p < graph.num_pads(),
+                     "warm-start pad index outside the fabric");
+      MCFPGA_REQUIRE(pad_used[p] == 0, "warm-start pads overlap");
+      pad_used[p] = 1;
+    }
+  }
   const std::size_t cells = graph.spec().num_cells();
   const std::size_t pads = graph.num_pads();
   if (problem.num_clusters > cells) {
@@ -339,7 +376,8 @@ Placement place(const PlacementProblem& problem,
   const auto run_restart = [&](std::size_t r) {
     const auto start = clock::now();
     try {
-      results[r] = anneal_one(problem, geom, index, options, options.seed + r);
+      results[r] =
+          anneal_one(problem, geom, index, options, options.seed + r, initial);
     } catch (...) {
       errors[r] = std::current_exception();
     }

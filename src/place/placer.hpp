@@ -130,8 +130,15 @@ struct Placement {
 
 /// Places the problem onto `graph`'s fabric.  Throws FlowError when the
 /// fabric has too few cells or pads.
+///
+/// `initial` (may be null) warm-starts every restart's anneal from the
+/// given placement instead of the scan-order seed — the timing-closure
+/// loop's re-place, typically paired with a reduced temperature so the
+/// refine run perturbs rather than scrambles.  Its cluster_pos/io_pads
+/// must match the problem (InvalidArgument otherwise).
 Placement place(const PlacementProblem& problem,
-                const arch::RoutingGraph& graph, const PlacerOptions& options);
+                const arch::RoutingGraph& graph, const PlacerOptions& options,
+                const Placement* initial = nullptr);
 
 /// Cost of an explicit placement (exposed for tests and the placer itself).
 /// `options` supplies the timing-mode net weighting; the default matches

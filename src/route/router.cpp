@@ -43,8 +43,13 @@ void RouterOptions::validate() const {
                  "present_factor_growth must be positive");
   MCFPGA_REQUIRE(history_increment >= 0.0,
                  "history_increment must be non-negative");
-  MCFPGA_REQUIRE(criticality_exponent > 0.0,
-                 "criticality_exponent must be positive");
+  MCFPGA_REQUIRE(criticality_exponent_schedule.start > 0.0,
+                 "criticality exponent schedule must start positive");
+  MCFPGA_REQUIRE(criticality_exponent_schedule.step >= 0.0,
+                 "criticality exponent schedule must be non-decreasing");
+  MCFPGA_REQUIRE(
+      criticality_exponent_schedule.max >= criticality_exponent_schedule.start,
+      "criticality exponent ceiling must be at least the start value");
   MCFPGA_REQUIRE(max_criticality >= 0.0 && max_criticality < 1.0,
                  "max_criticality must lie in [0, 1)");
 }
@@ -56,12 +61,16 @@ Router::Router(const arch::RoutingGraph& graph, RouterOptions options)
 
 RouteResult Router::route(
     const std::vector<std::vector<RouteNet>>& nets_per_context,
-    const std::vector<timing::ContextTimingSpec>* timing) const {
+    const std::vector<timing::ContextTimingSpec>* timing,
+    RouteHistory* history) const {
   const std::size_t num_contexts = graph_.spec().num_contexts;
   MCFPGA_REQUIRE(nets_per_context.size() == num_contexts,
                  "net list must cover every context");
   MCFPGA_REQUIRE(timing == nullptr || timing->size() == num_contexts,
                  "timing specs must cover every context");
+  if (history != nullptr) {
+    history->per_context.resize(num_contexts);
+  }
 
   std::vector<RouterCore::ContextResult> per_context(num_contexts);
   std::vector<std::exception_ptr> errors(num_contexts);
@@ -73,7 +82,8 @@ RouteResult Router::route(
     return [&, core = RouterCore(graph_, options_)](std::size_t c) mutable {
       try {
         per_context[c] = core.route_context(
-            nets_per_context[c], timing ? &(*timing)[c] : nullptr);
+            nets_per_context[c], timing ? &(*timing)[c] : nullptr,
+            history ? &history->per_context[c] : nullptr);
       } catch (...) {
         errors[c] = std::current_exception();
       }

@@ -74,8 +74,17 @@ struct RouterOptions {
   /// be passed to Router::route; off = bit-identical to the pure
   /// congestion router.
   bool timing_mode = false;
-  /// Sharpens criticalities (crit^exponent) before use; 1 = linear.
-  double criticality_exponent = 1.0;
+  /// VPR-style criticality-exponent ramp: rip-up iteration k sharpens
+  /// criticalities with crit^min(max, start + k * step).  The default
+  /// (1, 0, 1) keeps criticalities linear for the whole negotiation; a
+  /// rising schedule lets early iterations spread congestion while late
+  /// iterations chase the critical path hard.
+  struct CriticalityExponentSchedule {
+    double start = 1.0;  ///< Exponent at rip-up iteration 0.
+    double step = 0.0;   ///< Added per rip-up iteration.
+    double max = 1.0;    ///< Ceiling of the ramp (>= start).
+  };
+  CriticalityExponentSchedule criticality_exponent_schedule{};
   /// Criticality ceiling, keeping a sliver of congestion pressure on even
   /// the most critical connection so negotiation still converges.
   double max_criticality = 0.99;
@@ -83,6 +92,15 @@ struct RouterOptions {
   /// Throws InvalidArgument on out-of-range values (zero iteration budget,
   /// negative increments/weights, ...).  Called by Router's constructor.
   void validate() const;
+};
+
+/// Cross-call router state: one PathFinder history-cost array per context,
+/// indexed by routing-graph node.  The timing-closure loop routes the same
+/// contexts repeatedly (placements shift between iterations); carrying the
+/// history forward lets later iterations start negotiation with the
+/// congestion lessons of earlier ones instead of from scratch.
+struct RouteHistory {
+  std::vector<std::vector<double>> per_context;
 };
 
 /// Per-context aggregates collected while committing routed paths, so
@@ -124,9 +142,16 @@ class Router {
   /// `timing` (one spec per context, parallel to the net lists) enables the
   /// timing-driven cost when options.timing_mode is set; contexts remain
   /// independent, so parallel results stay bit-identical to serial.
+  ///
+  /// `history` (may be null) carries PathFinder history costs across calls:
+  /// a context whose entry matches the graph's node count seeds its
+  /// negotiation from it, and every context writes its final history back.
+  /// Seeding and write-back are per-context, so parallel results remain
+  /// bit-identical to serial.
   RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context,
                     const std::vector<timing::ContextTimingSpec>* timing =
-                        nullptr) const;
+                        nullptr,
+                    RouteHistory* history = nullptr) const;
 
  private:
   const arch::RoutingGraph& graph_;

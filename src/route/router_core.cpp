@@ -46,6 +46,7 @@ RouterCore::RouterCore(const arch::RoutingGraph& graph,
   prev_.resize(n);
   dist_epoch_.assign(n, 0);
   in_tree_epoch_.assign(n, 0);
+  tree_depth_.assign(n, 0);
 }
 
 void RouterCore::heap_push(double cost, NodeId node) {
@@ -72,10 +73,16 @@ double RouterCore::dist_of(std::size_t node) const {
 
 RouterCore::ContextResult RouterCore::route_context(
     const std::vector<RouteNet>& nets,
-    const timing::ContextTimingSpec* timing) {
+    const timing::ContextTimingSpec* timing, std::vector<double>* history) {
   const std::size_t num_nodes = graph_.num_nodes();
   std::fill(occupancy_.begin(), occupancy_.end(), 0);
-  std::fill(history_.begin(), history_.end(), 0.0);
+  if (history != nullptr && history->size() == num_nodes) {
+    // Carry-in from a previous closure-loop iteration: start negotiation
+    // with the congestion lessons already learned on this context.
+    std::copy(history->begin(), history->end(), history_.begin());
+  } else {
+    std::fill(history_.begin(), history_.end(), 0.0);
+  }
   double present_factor = 0.5;
 
   const std::vector<std::size_t>& offsets = graph_.csr_offsets();
@@ -102,17 +109,26 @@ RouterCore::ContextResult RouterCore::route_context(
     sta->analyze();  // unit-switch estimates: logic-depth criticality
     crit.resize(conn_arcs->num_connections());
   }
-  const auto refresh_criticality = [&]() {
+  // VPR-style exponent ramp: the sharpening applied to criticalities
+  // grows across rip-up iterations, so early rounds spread congestion
+  // while late rounds chase the critical path hard.
+  const auto exponent_at = [&](std::size_t iteration) {
+    const RouterOptions::CriticalityExponentSchedule& s =
+        options_.criticality_exponent_schedule;
+    return std::min(s.max, s.start + s.step * static_cast<double>(iteration));
+  };
+  const auto refresh_criticality = [&](std::size_t iteration) {
+    const double exponent = exponent_at(iteration);
     for (std::size_t conn = 0; conn < crit.size(); ++conn) {
       double c = conn_arcs->connection_criticality(*sta, conn);
-      if (options_.criticality_exponent != 1.0) {
-        c = std::pow(c, options_.criticality_exponent);
+      if (exponent != 1.0) {
+        c = std::pow(c, exponent);
       }
       crit[conn] = std::min(c, options_.max_criticality);
     }
   };
   if (timing_driven) {
-    refresh_criticality();
+    refresh_criticality(0);
   }
 
   ContextResult result;
@@ -150,16 +166,18 @@ RouterCore::ContextResult RouterCore::route_context(
       tree.push_back(net.source);
       ++tree_epoch_;
       in_tree_epoch_[static_cast<std::size_t>(net.source)] = tree_epoch_;
+      tree_depth_[static_cast<std::size_t>(net.source)] = 0;
 
       for (std::size_t j = 0; j < net.sinks.size(); ++j) {
         const NodeId sink = net.sinks[j];
         // Timing-driven blend for this connection: every node entered is
         // one switch crossing, so the delay term is crit * se_delay per
-        // expansion step.  (Wire already in the net's tree is reused at
-        // zero cost — upstream delay is not re-charged, the standard
-        // PathFinder simplification.)  With timing off the scales are
-        // exactly (1, 0), leaving the cost bit-identical to the pure
-        // congestion router.
+        // expansion step.  Reused tree wire seeds the expansion at its
+        // accumulated upstream delay (crit-weighted, congestion-free), so
+        // branching deep in the tree is not mistaken for a zero-delay
+        // start.  With timing off the scales are exactly (1, 0) and every
+        // seed is 0, leaving the cost bit-identical to the pure congestion
+        // router.
         double cong_scale = 1.0;
         double delay_term = 0.0;
         if (timing_driven) {
@@ -171,10 +189,12 @@ RouterCore::ContextResult RouterCore::route_context(
         heap_.clear();
         for (const NodeId t : tree) {
           const std::size_t ti = static_cast<std::size_t>(t);
-          dist_[ti] = 0.0;
+          const double seed =
+              delay_term * static_cast<double>(tree_depth_[ti]);
+          dist_[ti] = seed;
           prev_[ti] = -1;
           dist_epoch_[ti] = epoch_;
-          heap_push(0.0, t);
+          heap_push(seed, t);
         }
         bool found = false;
         while (!heap_.empty()) {
@@ -197,6 +217,14 @@ RouterCore::ContextResult RouterCore::route_context(
             const std::size_t vi = static_cast<std::size_t>(v);
             // Only the target sink may be entered among non-wire nodes.
             if (is_wire_[vi] == 0 && v != sink) {
+              continue;
+            }
+            // Nodes already in the net's tree are seeds, never targets:
+            // relaxing one below its upstream-delay seed would back-trace
+            // a second switch into it (a double-driven wire).  With zero
+            // seeds this skip is a no-op — every relaxation cost is
+            // strictly positive — so congestion-mode routing is untouched.
+            if (in_tree_epoch_[vi] == tree_epoch_) {
               continue;
             }
             const double nd =
@@ -228,10 +256,16 @@ RouterCore::ContextResult RouterCore::route_context(
           cur = graph_.edge(e).from;
         }
         std::reverse(path.edges.begin(), path.edges.end());
+        // Source-to-sink order guarantees every edge's from-node already
+        // carries its depth (tree node or earlier path node), so new
+        // nodes accumulate upstream switch counts in one pass.
         for (const EdgeId e : path.edges) {
           const NodeId v = graph_.edge(e).to;
-          if (in_tree_epoch_[static_cast<std::size_t>(v)] != tree_epoch_) {
-            in_tree_epoch_[static_cast<std::size_t>(v)] = tree_epoch_;
+          const std::size_t vi = static_cast<std::size_t>(v);
+          if (in_tree_epoch_[vi] != tree_epoch_) {
+            in_tree_epoch_[vi] = tree_epoch_;
+            tree_depth_[vi] =
+                tree_depth_[static_cast<std::size_t>(graph_.edge(e).from)] + 1;
             tree.push_back(v);
           }
         }
@@ -271,11 +305,16 @@ RouterCore::ContextResult RouterCore::route_context(
         }
       }
       sta->analyze();
-      refresh_criticality();
+      refresh_criticality(iter + 1);
     }
   }
 
-  result.iterations = iter + 1;
+  if (history != nullptr) {
+    *history = history_;
+  }
+  // On convergence the loop broke at index `iter`; otherwise the loop
+  // condition already advanced iter to max_iterations.
+  result.iterations = converged ? iter + 1 : iter;
   result.converged = converged;
   for (const auto& net : result.nets) {
     for (const auto& path : net.paths) {

@@ -19,7 +19,10 @@
 //   crit * se_delay + (1 - crit) * congestion_cost
 // — the classic timing-driven PathFinder blend.  Criticalities start from
 // the unit-switch (logic depth) prior, so even iteration 0 prefers short
-// detours for deep paths.
+// detours for deep paths.  Reused route-tree wire is seeded into the
+// expansion at its accumulated upstream delay (crit-weighted), so the
+// router can trade a longer detour near the source for a shorter critical
+// tail instead of treating every branch point as free.
 #pragma once
 
 #include <cstddef>
@@ -53,9 +56,15 @@ class RouterCore {
   /// be negotiated away within options.max_iterations.  `timing` (may be
   /// null) enables the criticality-driven cost when options.timing_mode is
   /// set; its nets/sinks must parallel `nets`.
+  ///
+  /// `history` (may be null) carries PathFinder history costs across
+  /// calls: when its size matches the graph's node count the negotiation
+  /// seeds from it instead of zero, and the final history is written back
+  /// either way (the closure loop's cross-iteration carry).
   ContextResult route_context(const std::vector<RouteNet>& nets,
                               const timing::ContextTimingSpec* timing =
-                                  nullptr);
+                                  nullptr,
+                              std::vector<double>* history = nullptr);
 
  private:
   struct HeapItem {
@@ -87,6 +96,10 @@ class RouterCore {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> in_tree_epoch_;
   std::uint32_t tree_epoch_ = 0;
+  /// Switch crossings from the net's source to each route-tree node (valid
+  /// for nodes stamped with the current tree_epoch_): the upstream delay a
+  /// timing-driven expansion charges when it reuses tree wire.
+  std::vector<std::uint32_t> tree_depth_;
   std::vector<HeapItem> heap_;
 };
 

@@ -131,4 +131,35 @@ class ConnectionArcs {
   std::vector<std::uint32_t> conn_offset_;
 };
 
+/// Post-route criticalities of one context's connections, keyed by
+/// (net, sink): switches[i][j] is connection (i, j)'s routed switch count
+/// and the result parallels it, each entry the worst criticality over the
+/// connection's reader arcs.  Computed straight from a finished report's
+/// arrival/required arrays — the same slack formula TimingGraph uses at
+/// the given switch counts — so closure-loop consumers that already hold
+/// the Timing stage's report need no second STA pass.
+inline std::vector<std::vector<double>> connection_criticalities(
+    const ContextTimingSpec& spec, const TimingReport& report,
+    const std::vector<std::vector<std::size_t>>& switches) {
+  std::vector<std::vector<double>> out(spec.nets.size());
+  for (std::size_t i = 0; i < spec.nets.size(); ++i) {
+    out[i].assign(spec.nets[i].sinks.size(), 0.0);
+    if (report.critical_path <= 0.0) {
+      continue;  // nothing to chase; everything is uncritical
+    }
+    for (std::size_t j = 0; j < spec.nets[i].sinks.size(); ++j) {
+      double crit = 0.0;
+      for (const SinkTiming::Reader& r : spec.nets[i].sinks[j].readers) {
+        const double delay = spec.connection_delay(switches[i][j], r.is_lut);
+        const double slack =
+            report.required[r.to] - report.arrival[r.from] - delay;
+        const double c = 1.0 - slack / report.critical_path;
+        crit = std::max(crit, c < 0.0 ? 0.0 : (c > 1.0 ? 1.0 : c));
+      }
+      out[i][j] = crit;
+    }
+  }
+  return out;
+}
+
 }  // namespace mcfpga::timing

@@ -37,11 +37,26 @@ TEST(RouterOptionsValidation, RejectsNegativeIncrements) {
   o.present_factor_growth = 0.0;
   EXPECT_THROW(o.validate(), InvalidArgument);
   o = {};
-  o.criticality_exponent = -2.0;
-  EXPECT_THROW(o.validate(), InvalidArgument);
-  o = {};
   o.max_criticality = 1.0;  // would erase congestion pressure entirely
   EXPECT_THROW(o.validate(), InvalidArgument);
+}
+
+TEST(RouterOptionsValidation, RejectsBadCriticalityExponentSchedules) {
+  route::RouterOptions o;
+  o.criticality_exponent_schedule.start = 0.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.criticality_exponent_schedule.start = -2.0;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.criticality_exponent_schedule.step = -0.5;  // ramps must not decay
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.criticality_exponent_schedule = {2.0, 0.5, 1.0};  // ceiling below start
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.criticality_exponent_schedule = {1.0, 0.5, 8.0};  // a real VPR ramp
+  EXPECT_NO_THROW(o.validate());
 }
 
 TEST(RouterOptionsValidation, RouterConstructorValidates) {

@@ -233,5 +233,100 @@ TEST(ConnectionArcs, RetimesConnectionsAndAggregatesCriticality) {
   EXPECT_EQ(c, 1.0);
 }
 
+TEST(ConnectionCriticalities, ExportMatchesBruteForceAfterReroute) {
+  // The closure loop re-places from criticalities exported straight off a
+  // finished report (connection_criticalities) instead of a second STA
+  // pass.  Oracle: rebuild every reader arc at its re-routed switch count,
+  // recompute longest-path arrivals/requireds by brute-force relaxation,
+  // and derive each connection's criticality independently.
+  Rng rng(2026);
+  for (std::size_t trial = 0; trial < 40; ++trial) {
+    ContextTimingSpec spec;
+    spec.num_nodes = 6 + rng.next_below(20);
+    spec.se_delay = 1.0;
+    spec.lut_delay = 2.0;
+    const std::size_t num_nets = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      ContextTimingSpec::NetTiming net;
+      // Readers always point to a higher node id, so the DAG holds.
+      const std::uint32_t driver =
+          static_cast<std::uint32_t>(rng.next_below(spec.num_nodes - 1));
+      const std::size_t num_sinks = 1 + rng.next_below(3);
+      for (std::size_t j = 0; j < num_sinks; ++j) {
+        SinkTiming sink;
+        const std::size_t num_readers = 1 + rng.next_below(2);
+        for (std::size_t r = 0; r < num_readers; ++r) {
+          const std::uint32_t to =
+              driver + 1 +
+              static_cast<std::uint32_t>(
+                  rng.next_below(spec.num_nodes - driver - 1));
+          sink.readers.push_back(
+              SinkTiming::Reader{driver, to, rng.next_bool(0.7)});
+        }
+        net.sinks.push_back(std::move(sink));
+      }
+      spec.nets.push_back(std::move(net));
+    }
+
+    // "Re-route" every connection to a random switch count and re-time.
+    const ConnectionArcs arcs(spec);
+    TimingGraph g(spec.num_nodes, arcs.arcs());
+    std::vector<std::vector<std::size_t>> switches(spec.nets.size());
+    for (std::size_t i = 0; i < spec.nets.size(); ++i) {
+      switches[i].resize(spec.nets[i].sinks.size());
+      for (std::size_t j = 0; j < switches[i].size(); ++j) {
+        switches[i][j] = 1 + rng.next_below(8);
+        arcs.set_connection_switches(g, arcs.connection(i, j),
+                                     switches[i][j]);
+      }
+    }
+    g.analyze();
+    const TimingReport report = g.report();
+
+    const std::vector<std::vector<double>> exported =
+        connection_criticalities(spec, report, switches);
+
+    // Brute-force oracle over the re-routed arc delays.
+    std::vector<Arc> oracle_arcs;
+    for (std::size_t i = 0; i < spec.nets.size(); ++i) {
+      for (std::size_t j = 0; j < spec.nets[i].sinks.size(); ++j) {
+        for (const auto& r : spec.nets[i].sinks[j].readers) {
+          oracle_arcs.push_back(Arc{
+              r.from, r.to, spec.connection_delay(switches[i][j], r.is_lut)});
+        }
+      }
+    }
+    const std::vector<double> arr =
+        oracle_arrival(spec.num_nodes, oracle_arcs);
+    double cp = 0.0;
+    for (const double a : arr) {
+      cp = std::max(cp, a);
+    }
+    const std::vector<double> req =
+        oracle_required(spec.num_nodes, oracle_arcs, cp);
+
+    ASSERT_EQ(exported.size(), spec.nets.size());
+    for (std::size_t i = 0; i < spec.nets.size(); ++i) {
+      ASSERT_EQ(exported[i].size(), spec.nets[i].sinks.size());
+      for (std::size_t j = 0; j < spec.nets[i].sinks.size(); ++j) {
+        double oracle = 0.0;
+        for (const auto& r : spec.nets[i].sinks[j].readers) {
+          const double delay =
+              spec.connection_delay(switches[i][j], r.is_lut);
+          const double slack = req[r.to] - arr[r.from] - delay;
+          const double c =
+              cp <= 0.0 ? 0.0 : std::clamp(1.0 - slack / cp, 0.0, 1.0);
+          oracle = std::max(oracle, c);
+        }
+        EXPECT_DOUBLE_EQ(exported[i][j], oracle)
+            << "trial " << trial << " connection (" << i << ", " << j << ")";
+        // And the export agrees exactly with the live TimingGraph view.
+        EXPECT_EQ(exported[i][j],
+                  arcs.connection_criticality(g, arcs.connection(i, j)));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mcfpga::timing
