@@ -61,12 +61,19 @@ void restore(FlowContext& ctx, Snapshot&& s) {
   ctx.context_stats = std::move(s.stats);
 }
 
-/// Post-route criticality of every driver class: the worst exported
-/// connection criticality over the class's connections and contexts —
-/// the value folded into the re-place net weights.
-std::map<std::size_t, double> post_route_class_criticality(
-    const FlowContext& ctx) {
+/// Post-route criticality digest of one closure iteration: the per-class
+/// worst connection criticality (folded into the re-place net weights)
+/// plus the mean over every connection and context — the slack
+/// distribution summary the adaptive refine policy keys on.
+struct PostRouteCriticality {
   std::map<std::size_t, double> by_class;
+  double mean = 0.0;
+};
+
+PostRouteCriticality post_route_criticality(const FlowContext& ctx) {
+  PostRouteCriticality out;
+  double sum = 0.0;
+  std::size_t count = 0;
   for (std::size_t c = 0; c < ctx.timing_specs.size(); ++c) {
     const timing::ContextTimingSpec& spec = ctx.timing_specs[c];
     std::vector<std::vector<std::size_t>> switches(spec.nets.size());
@@ -84,14 +91,47 @@ std::map<std::size_t, double> post_route_class_criticality(
       double worst = 0.0;
       for (const double value : crit[i]) {
         worst = std::max(worst, value);
+        sum += value;
+        ++count;
       }
-      auto [it, inserted] = by_class.emplace(ctx.net_class[c][i], worst);
+      auto [it, inserted] = out.by_class.emplace(ctx.net_class[c][i], worst);
       if (!inserted) {
         it->second = std::max(it->second, worst);
       }
     }
   }
-  return by_class;
+  out.mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return out;
+}
+
+/// The refine anneal's knobs for one closure iteration.  The historical
+/// policy (closure_adaptive_refine off) is the fixed
+/// kRefineTemperatureScale and a halved sweep budget; the adaptive policy
+/// reads the post-route slack distribution instead — tight slack
+/// everywhere (mean criticality -> 1) earns a larger shake and the full
+/// sweep budget, a lone hot path (mean -> 0) keeps the gentle refine.
+/// Both are pure functions of the iteration's STA, so determinism holds.
+struct RefinePolicy {
+  double temperature_scale = kRefineTemperatureScale;
+  std::size_t sweeps = 1;
+};
+
+RefinePolicy refine_policy(const CompileOptions& options,
+                           double mean_criticality) {
+  RefinePolicy policy;
+  const std::size_t base = std::max<std::size_t>(1, options.placer.sweeps);
+  if (!options.closure_adaptive_refine) {
+    policy.temperature_scale = kRefineTemperatureScale;
+    policy.sweeps = std::max<std::size_t>(1, base / 2);
+    return policy;
+  }
+  policy.temperature_scale =
+      kRefineTemperatureScale * (0.5 + 1.5 * mean_criticality);
+  policy.sweeps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(base) * (0.5 + 0.5 * mean_criticality) +
+             0.5));
+  return policy;
 }
 
 }  // namespace
@@ -143,26 +183,47 @@ void ClosureLoopStage::run(FlowContext& ctx) const {
 
     // Re-place: post-route criticalities become exact-integer weight
     // bumps (place::effective_net_weight), and the anneal perturbs the
-    // previous placement at reduced temperature.
-    apply_class_criticality(build, post_route_class_criticality(ctx));
+    // previous placement at a temperature the refine policy picks (fixed
+    // constants by default, slack-distribution-derived when
+    // closure_adaptive_refine is on).
+    const PostRouteCriticality crit = post_route_criticality(ctx);
+    apply_class_criticality(build, crit.by_class);
+    const RefinePolicy policy = refine_policy(ctx.options, crit.mean);
     place::PlacerOptions placer_options = ctx.options.placer;
     placer_options.timing_mode = true;  // the loop exists to chase slack
     placer_options.seed = base_seed + kRefineSeedStride * (iter - 1);
-    placer_options.initial_temperature_factor *= kRefineTemperatureScale;
-    placer_options.sweeps =
-        std::max<std::size_t>(1, placer_options.sweeps / 2);
+    placer_options.initial_temperature_factor *= policy.temperature_scale;
+    placer_options.sweeps = policy.sweeps;
     const place::Placement previous = std::move(ctx.placement);
     ctx.placement =
         place::place(build.problem, *ctx.graph, placer_options, &previous);
 
     // Re-route under the new placement: timing-driven, with the
-    // congestion history of every earlier iteration carried in.
+    // congestion history of every earlier iteration carried in.  Under
+    // negotiated cross-context routing the scheduler additionally gets
+    // per-context criticalities from the PREVIOUS iteration's STA: each
+    // context's critical path as a fraction of the worst context's
+    // (equivalently 1 - slack/budget under the shared budget), so the
+    // context with the least slack claims wires first and exports the
+    // strongest pressure.
     ctx.nets_per_context = build_route_nets(ctx);
     route::RouterOptions router_options = ctx.options.router;
     router_options.timing_mode = true;
+    std::vector<double> context_crit;
+    const std::vector<double>* context_crit_ptr = nullptr;
+    if (router_options.cross_context_mode ==
+        route::CrossContextMode::kNegotiated) {
+      const double worst = worst_critical_path(ctx);
+      context_crit.resize(ctx.timing_reports.size());
+      for (std::size_t c = 0; c < ctx.timing_reports.size(); ++c) {
+        context_crit[c] =
+            worst > 0.0 ? ctx.timing_reports[c].critical_path / worst : 1.0;
+      }
+      context_crit_ptr = &context_crit;
+    }
     const route::Router router(*ctx.graph, router_options);
     ctx.routing = router.route(ctx.nets_per_context, &ctx.timing_specs,
-                               &ctx.route_history);
+                               &ctx.route_history, context_crit_ptr);
     if (!ctx.routing.success) {
       // A refine route that cannot converge is a failed experiment, not a
       // failed compile: keep the best iteration and stop.

@@ -13,7 +13,9 @@
 //                     (optionally criticality-weighted, placer timing_mode);
 //   RouteStage      — PathFinder over the RRG (Sec. 3), contexts routed
 //                     in parallel with bit-identical-to-serial results
-//                     (optionally timing-driven, router timing_mode);
+//                     (optionally timing-driven, router timing_mode;
+//                     optionally cross-context negotiated, router
+//                     cross_context_mode — route/schedule.hpp);
 //   TimingStage     — per-context incremental STA over the routed design:
 //                     TimingReports + ContextStats critical paths;
 //   ProgramStage    — LUT plane tables, switch patterns, pad bindings,
@@ -70,6 +72,13 @@ struct CompileOptions {
   /// must deliver over the best so far for the loop to continue; 0 =
   /// keep iterating while there is any strict improvement.
   double closure_slack_tolerance = 0.0;
+  /// Adaptive refine policy for the closure loop's re-anneal.  false (the
+  /// default) keeps the historical constants: temperature scale 0.02x and
+  /// a halved sweep budget.  true derives both from the post-route slack
+  /// distribution — a design whose slack is tight everywhere gets a
+  /// larger perturbation and the full sweep budget, one with a single
+  /// hot path keeps the gentle refine (deterministic either way).
+  bool closure_adaptive_refine = false;
 };
 
 /// One logic block's worth of slots.
@@ -85,6 +94,10 @@ struct ContextStats {
   std::size_t wire_nodes_used = 0;
   std::size_t switches_crossed = 0;  ///< Sum over all connections.
   double critical_path = 0.0;        ///< From the SE delay model.
+  /// Wire nodes this context shares with at least one other context
+  /// (route::ContextRouteSummary::cross_context_conflicts — what the
+  /// negotiated cross-context scheduler drives down).
+  std::size_t cross_context_conflicts = 0;
 };
 
 /// Wall-clock of one pipeline stage (filled by run_pipeline).  Names

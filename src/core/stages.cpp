@@ -411,9 +411,17 @@ void RouteStage::run(FlowContext& ctx) const {
   // extra output does not perturb the routing itself.
   route::RouteHistory* history =
       ctx.options.closure_iterations >= 2 ? &ctx.route_history : nullptr;
+  // The negotiated cross-context scheduler wants the timing specs even
+  // with timing_mode off: they power its per-round STA scoring (the
+  // timing-driven expansion cost stays gated on timing_mode inside the
+  // router either way).
+  const bool negotiated = ctx.options.router.cross_context_mode ==
+                          route::CrossContextMode::kNegotiated;
   ctx.routing = router.route(
       ctx.nets_per_context,
-      ctx.options.router.timing_mode ? &ctx.timing_specs : nullptr, history);
+      ctx.options.router.timing_mode || negotiated ? &ctx.timing_specs
+                                                   : nullptr,
+      history);
   if (!ctx.routing.success) {
     throw FlowError("routing failed to converge (congestion)");
   }
@@ -450,6 +458,7 @@ void TimingStage::run(FlowContext& ctx) const {
     stats.wire_nodes_used = summary.wire_nodes_used;
     stats.switches_crossed = summary.switches_crossed;
     stats.critical_path = ctx.timing_reports[c].critical_path;
+    stats.cross_context_conflicts = summary.cross_context_conflicts;
   }
 }
 

@@ -6,14 +6,28 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "route/router_core.hpp"
+#include "route/schedule.hpp"
 
 namespace mcfpga::route {
 
 namespace {
 
 using arch::EdgeId;
+using arch::NodeId;
 
 }  // namespace
+
+void RouteHistory::prepare(std::size_t num_contexts, std::size_t num_nodes) {
+  per_context.resize(num_contexts);
+  for (auto& h : per_context) {
+    if (!h.empty() && h.size() != num_nodes) {
+      // Recorded on a different routing graph: stale per-node state, not
+      // a seed.  Clear instead of letting the core silently ignore it (or
+      // worse, a future resize alias half of it onto the wrong nodes).
+      h.clear();
+    }
+  }
+}
 
 std::size_t RouteResult::critical_switches(std::size_t context) const {
   std::size_t worst = 0;
@@ -52,6 +66,56 @@ void RouterOptions::validate() const {
       "criticality exponent ceiling must be at least the start value");
   MCFPGA_REQUIRE(max_criticality >= 0.0 && max_criticality < 1.0,
                  "max_criticality must lie in [0, 1)");
+  MCFPGA_REQUIRE(cross_context_rounds >= 1,
+                 "cross-context negotiation needs at least one round");
+  MCFPGA_REQUIRE(cross_context_pressure_weight >= 0.0,
+                 "cross_context_pressure_weight must be non-negative");
+}
+
+std::vector<std::size_t> cross_context_conflicts(
+    const std::vector<std::vector<std::uint8_t>>& usage) {
+  const std::size_t num_contexts = usage.size();
+  const std::size_t num_nodes = num_contexts == 0 ? 0 : usage[0].size();
+  std::vector<std::uint16_t> count(num_nodes, 0);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      count[n] = static_cast<std::uint16_t>(count[n] + (usage[c][n] != 0));
+    }
+  }
+  std::vector<std::size_t> conflicts(num_contexts, 0);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      if (usage[c][n] != 0 && count[n] >= 2) {
+        ++conflicts[c];
+      }
+    }
+  }
+  return conflicts;
+}
+
+std::vector<std::size_t> cross_context_conflicts(
+    const arch::RoutingGraph& graph,
+    const std::vector<std::vector<RoutedNet>>& nets_per_context) {
+  const std::size_t num_nodes = graph.num_nodes();
+  const std::size_t num_contexts = nets_per_context.size();
+  // Rebuild the per-context wire-usage bitmaps from the routed trees
+  // (bitmaps deduplicate naturally: a node may sit on many paths of one
+  // tree) and delegate to the one true conflict count.
+  std::vector<std::vector<std::uint8_t>> usage(
+      num_contexts, std::vector<std::uint8_t>(num_nodes, 0));
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    for (const auto& net : nets_per_context[c]) {
+      for (const auto& path : net.paths) {
+        for (const EdgeId e : path.edges) {
+          const NodeId to = graph.edge(e).to;
+          if (graph.node(to).kind == arch::NodeKind::kWire) {
+            usage[c][static_cast<std::size_t>(to)] = 1;
+          }
+        }
+      }
+    }
+  }
+  return cross_context_conflicts(usage);
 }
 
 Router::Router(const arch::RoutingGraph& graph, RouterOptions options)
@@ -62,14 +126,25 @@ Router::Router(const arch::RoutingGraph& graph, RouterOptions options)
 RouteResult Router::route(
     const std::vector<std::vector<RouteNet>>& nets_per_context,
     const std::vector<timing::ContextTimingSpec>* timing,
-    RouteHistory* history) const {
+    RouteHistory* history,
+    const std::vector<double>* context_criticality) const {
   const std::size_t num_contexts = graph_.spec().num_contexts;
   MCFPGA_REQUIRE(nets_per_context.size() == num_contexts,
                  "net list must cover every context");
   MCFPGA_REQUIRE(timing == nullptr || timing->size() == num_contexts,
                  "timing specs must cover every context");
+  MCFPGA_REQUIRE(
+      context_criticality == nullptr ||
+          context_criticality->size() == num_contexts,
+      "context criticalities must cover every context");
   if (history != nullptr) {
-    history->per_context.resize(num_contexts);
+    history->prepare(num_contexts, graph_.num_nodes());
+  }
+
+  if (options_.cross_context_mode == CrossContextMode::kNegotiated) {
+    const ContextScheduler scheduler(graph_, options_);
+    return scheduler.route(nets_per_context, timing, history,
+                           context_criticality);
   }
 
   std::vector<RouterCore::ContextResult> per_context(num_contexts);
@@ -98,32 +173,7 @@ RouteResult Router::route(
   }
 
   // Deterministic merge: contexts in order, independent of worker timing.
-  RouteResult result;
-  result.success = true;
-  result.nets.resize(num_contexts);
-  result.context_summary.resize(num_contexts);
-  result.switch_patterns.assign(graph_.num_switches(),
-                                config::ContextPattern(num_contexts, false));
-  for (std::size_t c = 0; c < num_contexts; ++c) {
-    RouterCore::ContextResult& ctx = per_context[c];
-    result.iterations = std::max(result.iterations, ctx.iterations);
-    if (!ctx.converged) {
-      result.success = false;
-    }
-    for (const auto& net : ctx.nets) {
-      for (const auto& path : net.paths) {
-        for (const EdgeId e : path.edges) {
-          result.switch_patterns[static_cast<std::size_t>(graph_.edge(e).sw)]
-              .set_value(c, true);
-        }
-      }
-    }
-    result.context_summary[c].nets = ctx.nets.size();
-    result.context_summary[c].wire_nodes_used = ctx.wire_nodes_used;
-    result.context_summary[c].switches_crossed = ctx.switches_crossed;
-    result.nets[c] = std::move(ctx.nets);
-  }
-  return result;
+  return merge_context_results(graph_, std::move(per_context));
 }
 
 }  // namespace mcfpga::route

@@ -13,6 +13,16 @@
 // fans contexts out over a small worker pool and merges results in context
 // order, so parallel output is bit-identical to serial.
 //
+// Contexts are NOT independent in the cost model, though: every physical
+// switch carries one on/off bit per context, and the RCM decoder prices a
+// switch by how its pattern varies across contexts.  With
+// RouterOptions::cross_context_mode == kNegotiated, Router::route hands
+// the contexts to route::ContextScheduler (route/schedule.hpp), which
+// orders routing passes by per-context criticality, exchanges per-node
+// pressure between contexts, and re-routes in outer negotiation rounds
+// until cross-context wire conflicts stop improving.  kOff (the default)
+// keeps the historical fully independent routing, bit for bit.
+//
 // Delay accounting follows the paper's SE model: every switch crossed
 // costs one SE delay, so a straight run of L cells costs L switches on
 // single-length wires but only ceil(L/2) diamond crossings on
@@ -22,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +64,18 @@ struct RoutedNet {
   std::string name;
   arch::NodeId source = arch::kInvalidNode;
   std::vector<RoutedPath> paths;
+};
+
+/// How the router treats the coupling between contexts.
+enum class CrossContextMode : std::uint8_t {
+  /// Every context routed independently (the historical behavior).
+  kOff,
+  /// Criticality-ordered negotiation rounds with shared per-node pressure
+  /// (route/schedule.hpp).  Deterministic for a fixed seed regardless of
+  /// worker count; never worse than kOff on the kept metric (the
+  /// independent baseline is round 0 of the negotiation and the best
+  /// round wins).
+  kNegotiated,
 };
 
 struct RouterOptions {
@@ -88,6 +111,19 @@ struct RouterOptions {
   /// Criticality ceiling, keeping a sliver of congestion pressure on even
   /// the most critical connection so negotiation still converges.
   double max_criticality = 0.99;
+  /// Cross-context coupling: kOff = independent contexts (bit-identical
+  /// to the historical router), kNegotiated = criticality-ordered
+  /// scheduling with shared congestion pressure (route/schedule.hpp).
+  CrossContextMode cross_context_mode = CrossContextMode::kOff;
+  /// Negotiation rounds after the independent baseline (round 0): round 1
+  /// is the sequential criticality-ordered claim pass, later rounds
+  /// re-route every context against the pressure of all peers.  The loop
+  /// stops early once cross-context conflicts stop improving.
+  std::size_t cross_context_rounds = 3;
+  /// Scale of foreign-context wire usage folded into a context's present
+  /// congestion cost, further weighted by the EXPORTING context's
+  /// criticality — critical contexts push hard, uncritical ones barely.
+  double cross_context_pressure_weight = 0.5;
 
   /// Throws InvalidArgument on out-of-range values (zero iteration budget,
   /// negative increments/weights, ...).  Called by Router's constructor.
@@ -101,6 +137,14 @@ struct RouterOptions {
 /// congestion lessons of earlier ones instead of from scratch.
 struct RouteHistory {
   std::vector<std::vector<double>> per_context;
+
+  /// Sizes per_context to `num_contexts` and CLEARS any entry whose length
+  /// does not match `num_nodes` — a history recorded on a different
+  /// routing graph is stale, and seeding from it would silently misprice
+  /// every node.  Router::route calls this on entry, so repeated closure
+  /// iterations (or a reused history across differently sized fabrics)
+  /// never grow or alias stale per-node state.
+  void prepare(std::size_t num_contexts, std::size_t num_nodes);
 };
 
 /// Per-context aggregates collected while committing routed paths, so
@@ -109,6 +153,25 @@ struct ContextRouteSummary {
   std::size_t nets = 0;
   std::size_t wire_nodes_used = 0;
   std::size_t switches_crossed = 0;  ///< Sum over all sink connections.
+  /// Wire nodes this context uses that at least one other context also
+  /// uses — the raw material of non-constant switch patterns (and of the
+  /// cross-context detour pressure the negotiated scheduler relieves).
+  std::size_t cross_context_conflicts = 0;
+};
+
+/// One outer negotiation round of the cross-context scheduler (round 0 is
+/// the independent baseline; see route/schedule.hpp).
+struct NegotiationRoundStats {
+  std::size_t round = 0;
+  /// Sum of per-context cross_context_conflicts after this round.
+  std::size_t conflicts = 0;
+  /// Worst per-connection switch count over all contexts.
+  std::size_t worst_critical_switches = 0;
+  /// Worst per-context STA critical path (0 when routed without specs).
+  double worst_critical_path = 0.0;
+  double seconds = 0.0;
+  /// True on the single round whose routing the scheduler returned.
+  bool kept = false;
 };
 
 struct RouteResult {
@@ -120,6 +183,11 @@ struct RouteResult {
   std::vector<config::ContextPattern> switch_patterns;
   /// One summary per context, filled during the routing commit.
   std::vector<ContextRouteSummary> context_summary;
+  /// Negotiation rounds executed (including the round-0 baseline); 0 when
+  /// cross_context_mode was kOff.
+  std::size_t negotiation_rounds = 0;
+  /// One entry per executed round (empty in kOff mode).
+  std::vector<NegotiationRoundStats> negotiation_stats;
 
   /// Worst switch count over all sink connections of one context.
   std::size_t critical_switches(std::size_t context) const;
@@ -144,18 +212,43 @@ class Router {
   /// independent, so parallel results stay bit-identical to serial.
   ///
   /// `history` (may be null) carries PathFinder history costs across calls:
-  /// a context whose entry matches the graph's node count seeds its
-  /// negotiation from it, and every context writes its final history back.
-  /// Seeding and write-back are per-context, so parallel results remain
-  /// bit-identical to serial.
+  /// it is prepare()d against this graph first (stale-sized entries are
+  /// cleared), a context whose entry matches the graph's node count seeds
+  /// its negotiation from it, and every context writes its final history
+  /// back.  Seeding and write-back are per-context, so parallel results
+  /// remain bit-identical to serial.
+  ///
+  /// `context_criticality` (may be null; one value in [0, 1] per context)
+  /// drives the negotiated scheduler's ordering and pressure weights when
+  /// options.cross_context_mode == kNegotiated — the closure loop passes
+  /// each context's critical path as a fraction of the worst context's,
+  /// from the previous iteration's STA (1 - slack/budget under the
+  /// shared budget).  Null = every context equally critical (ordering
+  /// falls back to context index).  Ignored in kOff mode.
   RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context,
                     const std::vector<timing::ContextTimingSpec>* timing =
                         nullptr,
-                    RouteHistory* history = nullptr) const;
+                    RouteHistory* history = nullptr,
+                    const std::vector<double>* context_criticality =
+                        nullptr) const;
 
  private:
   const arch::RoutingGraph& graph_;
   RouterOptions options_;
 };
+
+/// Per-context count of wire nodes shared with at least one other context
+/// (the ContextRouteSummary::cross_context_conflicts values), from
+/// per-context usage bitmaps (usage[c][n] != 0 = context c occupies wire
+/// node n).  The ONE definition of a cross-context conflict — every other
+/// counter delegates here.
+std::vector<std::size_t> cross_context_conflicts(
+    const std::vector<std::vector<std::uint8_t>>& usage);
+
+/// Same, computed from routed trees (builds the usage bitmaps and
+/// delegates).  Shared by the independent merge and the scheduler.
+std::vector<std::size_t> cross_context_conflicts(
+    const arch::RoutingGraph& graph,
+    const std::vector<std::vector<RoutedNet>>& nets_per_context);
 
 }  // namespace mcfpga::route

@@ -71,10 +71,15 @@ double RouterCore::dist_of(std::size_t node) const {
   return dist_epoch_[node] == epoch_ ? dist_[node] : kInf;
 }
 
-RouterCore::ContextResult RouterCore::route_context(
+RouterCore::ContextResult RouterCore::route_pass(
     const std::vector<RouteNet>& nets,
-    const timing::ContextTimingSpec* timing, std::vector<double>* history) {
+    const timing::ContextTimingSpec* timing, std::vector<double>* history,
+    const std::vector<double>* pressure,
+    std::vector<std::uint8_t>* usage_out) {
   const std::size_t num_nodes = graph_.num_nodes();
+  MCFPGA_REQUIRE(pressure == nullptr || pressure->size() == num_nodes,
+                 "cross-context pressure must be graph-node-sized");
+  const double* pressure_of = pressure ? pressure->data() : nullptr;
   std::fill(occupancy_.begin(), occupancy_.end(), 0);
   if (history != nullptr && history->size() == num_nodes) {
     // Carry-in from a previous closure-loop iteration: start negotiation
@@ -144,9 +149,15 @@ RouterCore::ContextResult RouterCore::route_context(
   };
 
   const auto node_cost = [&](std::size_t idx) {
-    const double congestion =
-        1.0 + history_[idx] +
-        present_factor * static_cast<double>(occupancy_[idx]);
+    // Cross-context pressure is a present-cost term: wires claimed by
+    // other (weighted by how critical) contexts look congested before this
+    // context ever touches them.  Null pressure = bit-identical to the
+    // independent router.
+    double congestion = 1.0 + history_[idx] +
+                        present_factor * static_cast<double>(occupancy_[idx]);
+    if (pressure_of != nullptr) {
+      congestion += pressure_of[idx];
+    }
     return base_cost_[idx] * congestion;
   };
 
@@ -312,6 +323,17 @@ RouterCore::ContextResult RouterCore::route_context(
   if (history != nullptr) {
     *history = history_;
   }
+  if (usage_out != nullptr) {
+    // Final occupancy is exactly the set of nodes the committed trees
+    // hold; only wire nodes are exportable pressure (pins and pads are
+    // context-local endpoints, not shared fabric).
+    usage_out->assign(num_nodes, 0);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      if (occupancy_[n] > 0 && is_wire_[n] != 0) {
+        (*usage_out)[n] = 1;
+      }
+    }
+  }
   // On convergence the loop broke at index `iter`; otherwise the loop
   // condition already advanced iter to max_iterations.
   result.iterations = converged ? iter + 1 : iter;
@@ -321,6 +343,43 @@ RouterCore::ContextResult RouterCore::route_context(
       result.switches_crossed += path.switch_count();
       result.wire_nodes_used += path.edges.size();
     }
+  }
+  return result;
+}
+
+RouteResult merge_context_results(
+    const arch::RoutingGraph& graph,
+    std::vector<RouterCore::ContextResult>&& per_context) {
+  const std::size_t num_contexts = per_context.size();
+  RouteResult result;
+  result.success = true;
+  result.nets.resize(num_contexts);
+  result.context_summary.resize(num_contexts);
+  result.switch_patterns.assign(graph.num_switches(),
+                                config::ContextPattern(num_contexts, false));
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    RouterCore::ContextResult& ctx = per_context[c];
+    result.iterations = std::max(result.iterations, ctx.iterations);
+    if (!ctx.converged) {
+      result.success = false;
+    }
+    for (const auto& net : ctx.nets) {
+      for (const auto& path : net.paths) {
+        for (const EdgeId e : path.edges) {
+          result.switch_patterns[static_cast<std::size_t>(graph.edge(e).sw)]
+              .set_value(c, true);
+        }
+      }
+    }
+    result.context_summary[c].nets = ctx.nets.size();
+    result.context_summary[c].wire_nodes_used = ctx.wire_nodes_used;
+    result.context_summary[c].switches_crossed = ctx.switches_crossed;
+    result.nets[c] = std::move(ctx.nets);
+  }
+  const std::vector<std::size_t> conflicts =
+      cross_context_conflicts(graph, result.nets);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    result.context_summary[c].cross_context_conflicts = conflicts[c];
   }
   return result;
 }

@@ -12,6 +12,14 @@
 // The hot loop walks the graph's flat CSR arrays (RoutingGraph::csr_*)
 // instead of chasing per-node edge vectors.
 //
+// The engine exposes a resumable per-pass API (route_pass): one call is
+// one full PathFinder negotiation of one context, but a pass can seed
+// cross-context PRESSURE in (a per-node additive present-cost exported by
+// other contexts) and exports its own per-node wire USAGE out — the
+// handshake the cross-context scheduler (route/schedule.hpp) drives in
+// rounds.  route_context is the pressure-free wrapper and remains
+// bit-identical to the historical monolithic entry point.
+//
 // Timing-driven mode (RouterOptions::timing_mode + a ContextTimingSpec):
 // each context carries its own TimingGraph, re-timed incrementally from
 // the current switch counts between rip-up iterations, and every (net,
@@ -51,20 +59,40 @@ class RouterCore {
 
   RouterCore(const arch::RoutingGraph& graph, const RouterOptions& options);
 
-  /// Routes one context's nets.  Throws FlowError when a net has no
-  /// physical path at all; returns converged=false when congestion cannot
-  /// be negotiated away within options.max_iterations.  `timing` (may be
+  /// One negotiation pass over one context's nets — a full PathFinder
+  /// rip-up/re-route loop.  Throws FlowError when a net has no physical
+  /// path at all; returns converged=false when congestion cannot be
+  /// negotiated away within options.max_iterations.  `timing` (may be
   /// null) enables the criticality-driven cost when options.timing_mode is
   /// set; its nets/sinks must parallel `nets`.
   ///
   /// `history` (may be null) carries PathFinder history costs across
-  /// calls: when its size matches the graph's node count the negotiation
+  /// passes: when its size matches the graph's node count the negotiation
   /// seeds from it instead of zero, and the final history is written back
-  /// either way (the closure loop's cross-iteration carry).
+  /// either way — both the closure loop's cross-iteration carry and the
+  /// scheduler's cross-round carry.
+  ///
+  /// `pressure` (may be null; graph-node-sized) is an additive present
+  /// congestion term per node — the cross-context pressure other contexts
+  /// exported.  Null is bit-identical to all-zeros.
+  ///
+  /// `usage_out` (may be null) receives one byte per graph node: 1 where
+  /// this pass's final routing occupies a WIRE node — the usage this
+  /// context exports as pressure on its peers.
+  ContextResult route_pass(const std::vector<RouteNet>& nets,
+                           const timing::ContextTimingSpec* timing,
+                           std::vector<double>* history,
+                           const std::vector<double>* pressure,
+                           std::vector<std::uint8_t>* usage_out);
+
+  /// The pressure-free single-shot pass: what routing one independent
+  /// context always was.
   ContextResult route_context(const std::vector<RouteNet>& nets,
                               const timing::ContextTimingSpec* timing =
                                   nullptr,
-                              std::vector<double>* history = nullptr);
+                              std::vector<double>* history = nullptr) {
+    return route_pass(nets, timing, history, nullptr, nullptr);
+  }
 
  private:
   struct HeapItem {
@@ -102,5 +130,14 @@ class RouterCore {
   std::vector<std::uint32_t> tree_depth_;
   std::vector<HeapItem> heap_;
 };
+
+/// Deterministic merge of per-context results into one RouteResult:
+/// switch patterns, summaries (including cross_context_conflicts) and net
+/// lists assembled in context order, independent of which worker produced
+/// what.  Shared by the independent Router::route path and the
+/// cross-context scheduler.
+RouteResult merge_context_results(
+    const arch::RoutingGraph& graph,
+    std::vector<RouterCore::ContextResult>&& per_context);
 
 }  // namespace mcfpga::route

@@ -1,0 +1,284 @@
+#include "route/schedule.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "route/router_core.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace mcfpga::route {
+
+namespace {
+
+/// Everything a "keep best round" restore needs: the per-context results
+/// and the PathFinder history as it stood right after that round.
+struct Snapshot {
+  std::vector<RouterCore::ContextResult> results;
+  std::vector<std::vector<double>> history;
+};
+
+/// Round quality, compared lexicographically: first the timing metric
+/// (worst per-context STA critical path when specs are available, worst
+/// per-connection switch count otherwise), then total cross-context
+/// conflicts.  Ties keep the earlier round.
+struct Score {
+  double primary = 0.0;
+  std::size_t conflicts = 0;
+
+  bool better_than(const Score& o) const {
+    if (primary != o.primary) {
+      return primary < o.primary;
+    }
+    return conflicts < o.conflicts;
+  }
+};
+
+}  // namespace
+
+ContextScheduler::ContextScheduler(const arch::RoutingGraph& graph,
+                                   const RouterOptions& options)
+    : graph_(graph), options_(options) {}
+
+RouteResult ContextScheduler::route(
+    const std::vector<std::vector<RouteNet>>& nets_per_context,
+    const std::vector<timing::ContextTimingSpec>* timing,
+    RouteHistory* history,
+    const std::vector<double>* context_criticality) const {
+  using clock = std::chrono::steady_clock;
+  const std::size_t num_contexts = nets_per_context.size();
+  const std::size_t num_nodes = graph_.num_nodes();
+
+  // Per-context criticalities in [0, 1]; null = all equally critical, so
+  // the claim order degenerates to context order and every context
+  // exports full-strength pressure.
+  std::vector<double> crit(num_contexts, 1.0);
+  if (context_criticality != nullptr) {
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      crit[c] = std::clamp((*context_criticality)[c], 0.0, 1.0);
+    }
+  }
+  // Claim order: descending criticality, ties toward the lower index
+  // (stable), so the order is deterministic for equal criticalities.
+  std::vector<std::size_t> order(num_contexts);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return crit[a] > crit[b];
+  });
+
+  // Per-round STA scoring state (specs available => exact critical paths;
+  // otherwise rounds are scored by worst switch count).  The DAG topology
+  // is fixed across rounds, so one TimingGraph per context re-analyzes
+  // incrementally.
+  const bool score_by_sta = timing != nullptr;
+  std::vector<timing::ConnectionArcs> arcs;
+  std::vector<timing::TimingGraph> sta;
+  if (score_by_sta) {
+    arcs.reserve(num_contexts);
+    sta.reserve(num_contexts);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      const timing::ContextTimingSpec& spec = (*timing)[c];
+      MCFPGA_REQUIRE(spec.nets.size() == nets_per_context[c].size(),
+                     "timing spec must parallel the context's net list");
+      for (std::size_t i = 0; i < spec.nets.size(); ++i) {
+        MCFPGA_REQUIRE(
+            spec.nets[i].sinks.size() == nets_per_context[c][i].sinks.size(),
+            "timing spec sinks must parallel the net's sinks");
+      }
+      arcs.emplace_back(spec);
+      sta.emplace_back(spec.num_nodes, arcs.back().arcs());
+    }
+  }
+
+  // Negotiation state: per-context PathFinder history carried across
+  // rounds (seeded from the caller's carry-in when present) and the wire
+  // usage each context exported after its latest pass.
+  std::vector<std::vector<double>> hist(num_contexts);
+  if (history != nullptr) {
+    hist = history->per_context;  // prepare()d: entries empty or node-sized
+  }
+  std::vector<std::vector<std::uint8_t>> usage(num_contexts);
+  std::vector<RouterCore::ContextResult> current(num_contexts);
+
+  // One parallel round: every context re-routes against `pressure`
+  // frozen before the round started (null on the round-0 baseline).
+  // Exceptions re-raise in context order, like the independent router.
+  const auto run_parallel_round =
+      [&](const std::vector<std::vector<double>>* pressure) {
+        std::vector<std::exception_ptr> errors(num_contexts);
+        const std::size_t workers =
+            effective_threads(options_.num_threads, num_contexts);
+        parallel_for_index(num_contexts, workers, [&]() {
+          return [&, core = RouterCore(graph_, options_)](
+                     std::size_t c) mutable {
+            try {
+              current[c] = core.route_pass(
+                  nets_per_context[c], timing ? &(*timing)[c] : nullptr,
+                  &hist[c], pressure ? &(*pressure)[c] : nullptr, &usage[c]);
+            } catch (...) {
+              errors[c] = std::current_exception();
+            }
+          };
+        });
+        for (std::size_t c = 0; c < num_contexts; ++c) {
+          if (errors[c]) {
+            std::rethrow_exception(errors[c]);
+          }
+        }
+      };
+
+  // The claim pass: sequential in criticality order; the context at
+  // position k sees the accumulated crit-weighted usage of positions
+  // 0..k-1 ONLY — critical contexts claim wires first, everyone after
+  // them detours around the claims.
+  const auto run_claim_round = [&]() {
+    RouterCore core(graph_, options_);
+    std::vector<double> accum(num_nodes, 0.0);
+    std::vector<double> pressure(num_nodes, 0.0);
+    for (const std::size_t c : order) {
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        pressure[n] = options_.cross_context_pressure_weight * accum[n];
+      }
+      current[c] =
+          core.route_pass(nets_per_context[c],
+                          timing ? &(*timing)[c] : nullptr, &hist[c],
+                          &pressure, &usage[c]);
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (usage[c][n] != 0) {
+          accum[n] += crit[c];
+        }
+      }
+    }
+  };
+
+  // Jacobi pressure for rounds >= 2: context c sees every peer's usage,
+  // weighted by the EXPORTING context's criticality.  Folded in context
+  // order, so the map is identical for any worker count.
+  const auto build_jacobi_pressure = [&]() {
+    std::vector<double> total(num_nodes, 0.0);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (usage[c][n] != 0) {
+          total[n] += crit[c];
+        }
+      }
+    }
+    std::vector<std::vector<double>> pressure(num_contexts);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      pressure[c].resize(num_nodes);
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        const double own = usage[c][n] != 0 ? crit[c] : 0.0;
+        pressure[c][n] =
+            options_.cross_context_pressure_weight * (total[n] - own);
+      }
+    }
+    return pressure;
+  };
+
+  const auto all_converged = [&]() {
+    for (const auto& r : current) {
+      if (!r.converged) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Scores the round just routed and appends its stats row.
+  std::vector<NegotiationRoundStats> stats;
+  const auto evaluate_and_record = [&](std::size_t round,
+                                       const clock::time_point& start) {
+    NegotiationRoundStats s;
+    s.round = round;
+    for (const std::size_t per_context : cross_context_conflicts(usage)) {
+      s.conflicts += per_context;
+    }
+    for (const auto& r : current) {
+      for (const auto& net : r.nets) {
+        for (const auto& path : net.paths) {
+          s.worst_critical_switches =
+              std::max(s.worst_critical_switches, path.switch_count());
+        }
+      }
+    }
+    if (score_by_sta) {
+      for (std::size_t c = 0; c < num_contexts; ++c) {
+        for (std::size_t i = 0; i < current[c].nets.size(); ++i) {
+          const auto& paths = current[c].nets[i].paths;
+          for (std::size_t j = 0; j < paths.size(); ++j) {
+            arcs[c].set_connection_switches(sta[c], arcs[c].connection(i, j),
+                                            paths[j].switch_count());
+          }
+        }
+        sta[c].analyze();
+        s.worst_critical_path =
+            std::max(s.worst_critical_path, sta[c].critical_path());
+      }
+    }
+    s.seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    stats.push_back(s);
+    return Score{score_by_sta
+                     ? s.worst_critical_path
+                     : static_cast<double>(s.worst_critical_switches),
+                 s.conflicts};
+  };
+
+  // --- Round 0: the independent baseline -----------------------------------
+  clock::time_point start = clock::now();
+  run_parallel_round(nullptr);
+  Score best_score = evaluate_and_record(0, start);
+  Snapshot best{current, hist};
+  std::size_t best_round = 0;
+
+  // Negotiation only makes sense over a converged baseline with something
+  // to negotiate about; pressure never helps a context that could not
+  // even resolve its own congestion (it only adds cost).
+  if (all_converged() && stats[0].conflicts > 0) {
+    std::size_t prev_conflicts = stats[0].conflicts;
+    for (std::size_t round = 1; round <= options_.cross_context_rounds;
+         ++round) {
+      start = clock::now();
+      if (round == 1) {
+        run_claim_round();
+      } else {
+        const std::vector<std::vector<double>> pressure =
+            build_jacobi_pressure();
+        run_parallel_round(&pressure);
+      }
+      const Score score = evaluate_and_record(round, start);
+      const bool converged = all_converged();
+      if (converged && score.better_than(best_score)) {
+        best_score = score;
+        best = Snapshot{current, hist};
+        best_round = round;
+      }
+      // Stop once conflicts no longer strictly improve, hit zero (another
+      // round could only tie), or a pass broke convergence — the
+      // negotiation has said what it has to say.
+      if (!converged || stats.back().conflicts == 0 ||
+          stats.back().conflicts >= prev_conflicts) {
+        break;
+      }
+      prev_conflicts = stats.back().conflicts;
+    }
+  }
+
+  // --- Keep the best round ---------------------------------------------------
+  if (history != nullptr) {
+    history->per_context = std::move(best.history);
+  }
+  RouteResult result = merge_context_results(graph_, std::move(best.results));
+  result.negotiation_rounds = stats.size();
+  stats[best_round].kept = true;
+  result.negotiation_stats = std::move(stats);
+  return result;
+}
+
+}  // namespace mcfpga::route

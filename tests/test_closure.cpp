@@ -236,6 +236,40 @@ TEST(ClosureLoop, NeverWorseThanOneShotOnRandomWorkloads) {
   }
 }
 
+TEST(ClosureLoop, AdaptiveRefinePolicyNeverWorseAndDeterministic) {
+  // closure_adaptive_refine derives the refine temperature and sweep
+  // budget from the post-route slack distribution instead of the fixed
+  // constants.  It must keep every loop guarantee: deterministic for a
+  // fixed seed, and never worse than the one-shot flow (iteration 1 is
+  // still the budget anchor and the best iteration still wins).
+  for (const std::uint64_t seed : {11u, 47u}) {
+    workload::RandomMultiContextParams params;
+    params.base.num_inputs = 6;
+    params.base.num_nodes = 16;
+    params.base.max_arity = 3;
+    params.base.seed = seed;
+    params.share_fraction = 0.4;
+    const auto nl = workload::random_multi_context(params);
+
+    CompileOptions adaptive;
+    adaptive.placer.timing_mode = true;
+    adaptive.router.timing_mode = true;
+    adaptive.closure_iterations = 3;
+    adaptive.closure_adaptive_refine = true;
+    const CompiledDesign a = compile(nl, small_spec(), adaptive);
+    const CompiledDesign b = compile(nl, small_spec(), adaptive);
+    expect_same_design(a, b);
+
+    CompileOptions one_shot = adaptive;
+    one_shot.closure_iterations = 1;
+    const double p_one =
+        worst_critical_path(compile(nl, small_spec(), one_shot));
+    EXPECT_LE(worst_critical_path(a), p_one + 1e-9) << "seed " << seed;
+    ASSERT_FALSE(a.closure_stats.empty());
+    EXPECT_DOUBLE_EQ(a.closure_stats[0].critical_path, p_one);
+  }
+}
+
 TEST(ClosureLoop, RejectsBadClosureOptions) {
   const auto nl = four_context_workload();
   CompileOptions options;

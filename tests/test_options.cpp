@@ -59,6 +59,20 @@ TEST(RouterOptionsValidation, RejectsBadCriticalityExponentSchedules) {
   EXPECT_NO_THROW(o.validate());
 }
 
+TEST(RouterOptionsValidation, RejectsBadCrossContextKnobs) {
+  route::RouterOptions o;
+  o.cross_context_rounds = 0;  // negotiation needs at least one round
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.cross_context_pressure_weight = -0.5;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.cross_context_mode = route::CrossContextMode::kNegotiated;
+  o.cross_context_rounds = 5;
+  o.cross_context_pressure_weight = 0.0;  // pressureless negotiation is legal
+  EXPECT_NO_THROW(o.validate());
+}
+
 TEST(RouterOptionsValidation, RouterConstructorValidates) {
   const arch::RoutingGraph graph(tiny_spec());
   route::RouterOptions o;
