@@ -74,6 +74,27 @@ int main(int argc, char** argv) {
   spec.channel_width = 10;
   spec.double_length_tracks = 4;
 
+  // Sums one maze-expansion counter over a design's context stats (see
+  // core::ContextStats — filled from the router's kept pass).
+  const auto stat_total = [](const core::CompiledDesign& d,
+                             std::size_t core::ContextStats::* member) {
+    std::size_t total = 0;
+    for (const auto& s : d.context_stats) {
+      total += s.*member;
+    }
+    return total;
+  };
+  const auto engine_counters_json = [&](const core::CompiledDesign& d) {
+    return "\"heap_pushes\":" +
+           std::to_string(stat_total(d, &core::ContextStats::heap_pushes)) +
+           ",\"heap_pops\":" +
+           std::to_string(stat_total(d, &core::ContextStats::heap_pops)) +
+           ",\"stale_pops\":" +
+           std::to_string(stat_total(d, &core::ContextStats::stale_pops)) +
+           ",\"nodes_expanded\":" +
+           std::to_string(stat_total(d, &core::ContextStats::nodes_expanded));
+  };
+
   Table t({"workload", "LUT ops", "merged", "LBs", "fabric", "crit path",
            "verify mismatches", "area ratio"});
   for (const auto& w : workloads) {
@@ -91,7 +112,7 @@ int main(int argc, char** argv) {
       }
     }
     bench::json_line("flow_" + w.name, d.netlist.total_lut_ops(), compile_ms,
-                     worst);
+                     worst, engine_counters_json(d));
     const std::size_t mismatches = chip.verify(16, 99);
     t.add_row({w.name, fmt_count(d.netlist.total_lut_ops()),
                fmt_count(d.sharing.merged_lut_ops()),
@@ -104,6 +125,70 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nexpected: zero mismatches everywhere; area ratio well "
                "below 100% on every design.\n\n";
+
+  // --- Maze-expansion engine through the whole flow ------------------------
+  // Identical compiles except RouterOptions::queue_mode: the classic
+  // binary heap vs the monotone bucket queue, timing-driven so the QoR
+  // gate (a non-zero exit) checks what the flow actually optimizes —
+  // bucket routing must never be worse on worst context critical path,
+  // then total wirelength.  The BENCH_JSON lines carry the queue-traffic
+  // counters so the two engines' work is comparable offline.
+  {
+    const auto wirelength = [&](const core::CompiledDesign& d) {
+      return stat_total(d, &core::ContextStats::wire_nodes_used);
+    };
+    const auto worst_path = [](const core::CompiledDesign& d) {
+      double worst = 0.0;
+      for (const auto& s : d.context_stats) {
+        worst = std::max(worst, s.critical_path);
+      }
+      return worst;
+    };
+
+    Table et({"engine", "crit path", "wirelength", "heap pushes",
+              "stale pops", "nodes expanded"});
+    core::CompileOptions opts;
+    opts.placer.timing_mode = true;
+    opts.router.timing_mode = true;
+    const auto nl = workload::pipeline_workload(4, smoke ? 6 : 8);
+    bool gate_ok = true;
+    double binary_path = 0.0;
+    std::size_t binary_wirelength = 0;
+    for (const route::QueueMode mode :
+         {route::QueueMode::kBinaryHeap, route::QueueMode::kBucket}) {
+      const bool bucket = mode == route::QueueMode::kBucket;
+      opts.router.queue_mode = mode;
+      const auto d = core::compile(nl, spec, opts);
+      const double path = worst_path(d);
+      const std::size_t wl = wirelength(d);
+      if (bucket) {
+        gate_ok = path < binary_path ||
+                  (path == binary_path && wl <= binary_wirelength);
+      } else {
+        binary_path = path;
+        binary_wirelength = wl;
+      }
+      et.add_row(
+          {bucket ? "bucket queue" : "binary heap", fmt_double(path, 1),
+           fmt_count(wl),
+           fmt_count(stat_total(d, &core::ContextStats::heap_pushes)),
+           fmt_count(stat_total(d, &core::ContextStats::stale_pops)),
+           fmt_count(stat_total(d, &core::ContextStats::nodes_expanded))});
+      bench::json_line(bucket ? "flow_engine_bucket" : "flow_engine_binary",
+                       nl.total_lut_ops(), 0.0, path,
+                       "\"wirelength\":" + std::to_string(wl) + "," +
+                           engine_counters_json(d));
+    }
+    std::cout << "maze-expansion engine through the timing-driven flow:\n";
+    et.print(std::cout);
+    if (!gate_ok) {
+      std::cout << "FAIL: bucket-queue flow worse on QoR (critical path, "
+                   "then wirelength)\n";
+      return 1;
+    }
+    std::cout << "bucket-queue flow QoR never worse than the binary "
+                 "heap's.\n\n";
+  }
 
   // --- Per-stage pipeline timings and routing parallelism ------------------
   // Every workload here has >= 4 contexts; the router fans the contexts out

@@ -5,8 +5,17 @@
 // under both configurations, then times serial vs parallel per-context
 // routing on a multi-context workload.
 //
+// The bench also compares the router's two maze-expansion engines
+// (RouterOptions::queue_mode): the classic binary heap against the
+// monotone bucket queue, on a congested random multi-context workload —
+// wall clock, queue-traffic counters, and a QoR gate (bucket must never
+// be worse on worst critical switches, then wirelength; non-smoke runs
+// additionally gate the >= 1.5x maze-expansion speedup).
+//
 // Pass --smoke for a reduced CI-sized run.  Every measurement also emits
 // one BENCH_JSON machine-readable line (see bench_json.hpp).
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 
@@ -37,6 +46,77 @@ route::RoutedPath route_straight(std::size_t length, bool prefer_dl) {
       "straight", g.out_pin(0, 0, 0), {g.in_pin(length, 0, 0)}});
   const auto result = router.route(nets);
   return result.nets[0][0].paths[0];
+}
+
+/// Deterministic congested multi-context routing problem, straight on the
+/// routing graph: per context, `nets_per_context` nets with distinct
+/// source pins and 1-3 distinct sink pins each (PathFinder's exclusivity
+/// rules make duplicate endpoints unroutable, so endpoints are sampled
+/// without replacement).
+std::vector<std::vector<route::RouteNet>> random_route_problem(
+    const arch::RoutingGraph& g, std::size_t num_contexts,
+    std::size_t nets_per_context, std::uint64_t seed) {
+  const arch::FabricSpec& spec = g.spec();
+  std::uint64_t state = seed;
+  const auto next = [&]() {  // splitmix64
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  std::vector<std::vector<route::RouteNet>> nets(num_contexts);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    // Endpoint pools, shuffled once per context (Fisher-Yates).
+    std::vector<arch::NodeId> sources;
+    std::vector<arch::NodeId> sinks;
+    for (std::size_t y = 0; y < spec.height; ++y) {
+      for (std::size_t x = 0; x < spec.width; ++x) {
+        for (std::size_t p = 0; p < spec.logic_block.num_outputs; ++p) {
+          sources.push_back(g.out_pin(x, y, p));
+        }
+        for (std::size_t p = 0; p < spec.logic_block.base_inputs; ++p) {
+          sinks.push_back(g.in_pin(x, y, p));
+        }
+      }
+    }
+    for (std::size_t i = sources.size(); i > 1; --i) {
+      std::swap(sources[i - 1], sources[next() % i]);
+    }
+    for (std::size_t i = sinks.size(); i > 1; --i) {
+      std::swap(sinks[i - 1], sinks[next() % i]);
+    }
+    std::size_t sink_at = 0;
+    for (std::size_t i = 0; i < nets_per_context; ++i) {
+      route::RouteNet net;
+      net.name = "rnd_c" + std::to_string(c) + "_n" + std::to_string(i);
+      net.source = sources[i];
+      const std::size_t fanout = 1 + next() % 3;
+      for (std::size_t s = 0; s < fanout && sink_at < sinks.size(); ++s) {
+        net.sinks.push_back(sinks[sink_at++]);
+      }
+      nets[c].push_back(std::move(net));
+    }
+  }
+  return nets;
+}
+
+/// Sums one counter over a RouteResult's context summaries.
+std::size_t total_of(const route::RouteResult& r,
+                     std::size_t route::ContextRouteSummary::* member) {
+  std::size_t total = 0;
+  for (const auto& s : r.context_summary) {
+    total += s.*member;
+  }
+  return total;
+}
+
+std::size_t worst_switches(const route::RouteResult& r) {
+  std::size_t worst = 0;
+  for (std::size_t c = 0; c < r.nets.size(); ++c) {
+    worst = std::max(worst, r.critical_switches(c));
+  }
+  return worst;
 }
 
 }  // namespace
@@ -144,6 +224,164 @@ int main(int argc, char** argv) {
     if (parallel_ms > 0.0) {
       std::cout << "routing speedup (serial / parallel): "
                 << fmt_double(serial_ms / parallel_ms, 2) << "x\n";
+    }
+  }
+
+  // --- Maze-expansion engine: binary heap vs bucket queue ------------------
+  // Identical congested workload, identical options except queue_mode;
+  // serial routing so the wall clock is the engine, not the scheduler.
+  // The gate (a non-zero exit) enforces the bucket engine's contract:
+  // never worse on QoR (worst critical switches, then total wirelength),
+  // and — outside --smoke, where machine noise would flake CI — at least
+  // a 1.5x maze-expansion speedup.
+  {
+    using clock = std::chrono::steady_clock;
+    arch::FabricSpec spec;
+    spec.width = smoke ? 10 : 20;
+    spec.height = spec.width;
+    spec.channel_width = 8;
+    spec.double_length_tracks = 4;
+    const arch::RoutingGraph g(spec);
+    const std::size_t nets_per_context = smoke ? 60 : 200;
+    const auto nets = random_route_problem(g, 4, nets_per_context, 1234);
+    const std::size_t reps = smoke ? 1 : 3;
+
+    struct EngineRun {
+      double best_ms = 0.0;
+      route::RouteResult result;
+    };
+    const auto run_engine = [&](route::QueueMode mode) {
+      route::RouterOptions opts;
+      opts.num_threads = 1;
+      opts.queue_mode = mode;
+      const route::Router router(g, opts);
+      EngineRun run;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const clock::time_point start = clock::now();
+        route::RouteResult result = router.route(nets);
+        const double ms =
+            std::chrono::duration<double>(clock::now() - start).count() * 1e3;
+        if (rep == 0 || ms < run.best_ms) {
+          run.best_ms = ms;
+        }
+        run.result = std::move(result);
+      }
+      return run;
+    };
+
+    const EngineRun binary = run_engine(route::QueueMode::kBinaryHeap);
+    const EngineRun bucket = run_engine(route::QueueMode::kBucket);
+
+    Table et({"engine", "route (ms)", "heap pushes", "heap pops",
+              "stale pops", "nodes expanded", "worst switches",
+              "wirelength"});
+    const auto counters_json = [](const route::RouteResult& r) {
+      return "\"heap_pushes\":" +
+             std::to_string(total_of(r, &route::ContextRouteSummary::
+                                            heap_pushes)) +
+             ",\"heap_pops\":" +
+             std::to_string(
+                 total_of(r, &route::ContextRouteSummary::heap_pops)) +
+             ",\"stale_pops\":" +
+             std::to_string(
+                 total_of(r, &route::ContextRouteSummary::stale_pops)) +
+             ",\"nodes_expanded\":" +
+             std::to_string(
+                 total_of(r, &route::ContextRouteSummary::nodes_expanded)) +
+             ",\"worst_switches\":" + std::to_string(worst_switches(r));
+    };
+    for (const auto* e : {&binary, &bucket}) {
+      const route::RouteResult& r = e->result;
+      et.add_row(
+          {e == &binary ? "binary heap" : "bucket queue",
+           fmt_double(e->best_ms, 2),
+           fmt_count(total_of(r, &route::ContextRouteSummary::heap_pushes)),
+           fmt_count(total_of(r, &route::ContextRouteSummary::heap_pops)),
+           fmt_count(total_of(r, &route::ContextRouteSummary::stale_pops)),
+           fmt_count(
+               total_of(r, &route::ContextRouteSummary::nodes_expanded)),
+           std::to_string(worst_switches(r)),
+           fmt_count(
+               total_of(r, &route::ContextRouteSummary::wire_nodes_used))});
+      bench::json_line(
+          e == &binary ? "routing_engine_binary" : "routing_engine_bucket",
+          4 * nets_per_context, e->best_ms,
+          static_cast<double>(
+              total_of(r, &route::ContextRouteSummary::wire_nodes_used)),
+          counters_json(r));
+    }
+    std::cout << "\nmaze-expansion engine comparison (serial, congested "
+                 "random workload, best of "
+              << reps << "):\n";
+    et.print(std::cout);
+    const double speedup =
+        bucket.best_ms > 0.0 ? binary.best_ms / bucket.best_ms : 0.0;
+    std::cout << "maze-expansion speedup (binary / bucket): "
+              << fmt_double(speedup, 2) << "x\n";
+    bench::json_line("routing_engine_speedup", 4 * nets_per_context, 0.0,
+                     speedup);
+
+    if (!binary.result.success || !bucket.result.success) {
+      std::cout << "FAIL: engine comparison workload did not converge\n";
+      return 1;
+    }
+    const std::size_t ws_bin = worst_switches(binary.result);
+    const std::size_t ws_buk = worst_switches(bucket.result);
+    const std::size_t wl_bin =
+        total_of(binary.result, &route::ContextRouteSummary::wire_nodes_used);
+    const std::size_t wl_buk =
+        total_of(bucket.result, &route::ContextRouteSummary::wire_nodes_used);
+    if (ws_buk > ws_bin || (ws_buk == ws_bin && wl_buk > wl_bin)) {
+      std::cout << "FAIL: bucket queue worse on QoR (worst switches "
+                << ws_buk << " vs " << ws_bin << ", wirelength " << wl_buk
+                << " vs " << wl_bin << ")\n";
+      return 1;
+    }
+    if (!smoke && speedup < 1.5) {
+      std::cout << "FAIL: bucket engine speedup " << fmt_double(speedup, 2)
+                << "x below the 1.5x gate\n";
+      return 1;
+    }
+
+    // Whole-flow QoR cross-check with timing-driven routing: an identical
+    // compile with each engine — bucket must not end with a worse worst
+    // context critical path (then wirelength).
+    arch::FabricSpec flow_spec;
+    flow_spec.width = 5;
+    flow_spec.height = 5;
+    flow_spec.channel_width = 8;
+    flow_spec.double_length_tracks = 4;
+    core::CompileOptions flow_opts;
+    flow_opts.placer.timing_mode = true;
+    flow_opts.router.timing_mode = true;
+    core::CompileOptions bucket_opts = flow_opts;
+    bucket_opts.router.queue_mode = route::QueueMode::kBucket;
+    const auto d_bin = core::compile(
+        workload::pipeline_workload(4, smoke ? 6 : 8), flow_spec, flow_opts);
+    const auto d_buk = core::compile(
+        workload::pipeline_workload(4, smoke ? 6 : 8), flow_spec,
+        bucket_opts);
+    const auto flow_qor = [](const core::CompiledDesign& d) {
+      double worst = 0.0;
+      std::size_t wirelength = 0;
+      for (const auto& s : d.context_stats) {
+        worst = std::max(worst, s.critical_path);
+        wirelength += s.wire_nodes_used;
+      }
+      return std::make_pair(worst, wirelength);
+    };
+    const auto [cp_bin, fwl_bin] = flow_qor(d_bin);
+    const auto [cp_buk, fwl_buk] = flow_qor(d_buk);
+    std::cout << "timing-driven compile, worst critical path: binary "
+              << fmt_double(cp_bin, 1) << " vs bucket "
+              << fmt_double(cp_buk, 1) << " SE\n";
+    bench::json_line("routing_engine_flow_binary", 4, 0.0, cp_bin,
+                     "\"wirelength\":" + std::to_string(fwl_bin));
+    bench::json_line("routing_engine_flow_bucket", 4, 0.0, cp_buk,
+                     "\"wirelength\":" + std::to_string(fwl_buk));
+    if (cp_buk > cp_bin || (cp_buk == cp_bin && fwl_buk > fwl_bin)) {
+      std::cout << "FAIL: bucket queue worse on timing-driven flow QoR\n";
+      return 1;
     }
   }
   return 0;

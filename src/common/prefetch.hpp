@@ -1,0 +1,14 @@
+// Portable software-prefetch shim.
+//
+// The router's maze expansion walks CSR adjacency rows whose addresses are
+// known one hop before they are scanned — exactly the pattern a prefetch
+// hint converts from a dependent-load stall into overlapped memory
+// traffic.  MCFPGA_PREFETCH is advisory: a read prefetch into all cache
+// levels on GCC/Clang, a no-op elsewhere, and never a semantic change.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MCFPGA_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define MCFPGA_PREFETCH(addr) ((void)0)
+#endif

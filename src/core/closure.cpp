@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "route/router_core.hpp"
 #include "timing/net_timing.hpp"
 
 namespace mcfpga::core {
@@ -222,8 +223,13 @@ void ClosureLoopStage::run(FlowContext& ctx) const {
       context_crit_ptr = &context_crit;
     }
     const route::Router router(*ctx.graph, router_options);
-    ctx.routing = router.route(ctx.nets_per_context, &ctx.timing_specs,
-                               &ctx.route_history, context_crit_ptr);
+    if (!ctx.router_pool) {
+      ctx.router_pool = std::make_shared<route::CorePool>();
+    }
+    ctx.routing =
+        router.route(ctx.nets_per_context, &ctx.timing_specs,
+                     &ctx.route_history, context_crit_ptr,
+                     ctx.router_pool.get());
     if (!ctx.routing.success) {
       // A refine route that cannot converge is a failed experiment, not a
       // failed compile: keep the best iteration and stop.

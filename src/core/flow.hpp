@@ -98,6 +98,14 @@ struct ContextStats {
   /// (route::ContextRouteSummary::cross_context_conflicts — what the
   /// negotiated cross-context scheduler drives down).
   std::size_t cross_context_conflicts = 0;
+  /// Maze-expansion engine traffic of the kept routing pass (see
+  /// route::ContextRouteSummary): queue pushes/pops, lazy-deletion stale
+  /// pops, and nodes actually expanded.  The heap-vs-bucket benches read
+  /// these off BENCH_JSON to confirm reduced queue traffic.
+  std::size_t heap_pushes = 0;
+  std::size_t heap_pops = 0;
+  std::size_t stale_pops = 0;
+  std::size_t nodes_expanded = 0;
 };
 
 /// Wall-clock of one pipeline stage (filled by run_pipeline).  Names

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "config/context_id.hpp"
 #include "core/timing_build.hpp"
+#include "route/router_core.hpp"
 #include "mapping/context_merge.hpp"
 #include "mapping/tech_map.hpp"
 #include "timing/net_timing.hpp"
@@ -417,11 +418,14 @@ void RouteStage::run(FlowContext& ctx) const {
   // router either way).
   const bool negotiated = ctx.options.router.cross_context_mode ==
                           route::CrossContextMode::kNegotiated;
+  if (!ctx.router_pool) {
+    ctx.router_pool = std::make_shared<route::CorePool>();
+  }
   ctx.routing = router.route(
       ctx.nets_per_context,
       ctx.options.router.timing_mode || negotiated ? &ctx.timing_specs
                                                    : nullptr,
-      history);
+      history, nullptr, ctx.router_pool.get());
   if (!ctx.routing.success) {
     throw FlowError("routing failed to converge (congestion)");
   }
@@ -459,6 +463,10 @@ void TimingStage::run(FlowContext& ctx) const {
     stats.switches_crossed = summary.switches_crossed;
     stats.critical_path = ctx.timing_reports[c].critical_path;
     stats.cross_context_conflicts = summary.cross_context_conflicts;
+    stats.heap_pushes = summary.heap_pushes;
+    stats.heap_pops = summary.heap_pops;
+    stats.stale_pops = summary.stale_pops;
+    stats.nodes_expanded = summary.nodes_expanded;
   }
 }
 

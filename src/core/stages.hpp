@@ -123,6 +123,11 @@ struct FlowContext {
   /// Cross-iteration PathFinder history (closure loop only; RouteStage
   /// threads it through the router when closure_iterations >= 2).
   route::RouteHistory route_history;
+  /// Per-worker router engines (arena scratch + cached timing DAGs),
+  /// created on first use by RouteStage and shared with the closure
+  /// loop's re-routes so repeated routing reuses warm state.  Pooled and
+  /// pool-free routing are bit-identical.
+  std::shared_ptr<route::CorePool> router_pool;
 
   // --- TimingStage --------------------------------------------------------
   std::vector<timing::TimingReport> timing_reports;

@@ -1,6 +1,7 @@
 #include "route/router.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 #include "common/error.hpp"
@@ -70,6 +71,10 @@ void RouterOptions::validate() const {
                  "cross-context negotiation needs at least one round");
   MCFPGA_REQUIRE(cross_context_pressure_weight >= 0.0,
                  "cross_context_pressure_weight must be non-negative");
+  MCFPGA_REQUIRE(pressure_ramp >= 0.0, "pressure_ramp must be non-negative");
+  MCFPGA_REQUIRE(bucket_quantum > 0.0, "bucket_quantum must be positive");
+  MCFPGA_REQUIRE(bucket_span >= 2,
+                 "bucket calendar needs at least two buckets");
 }
 
 std::vector<std::size_t> cross_context_conflicts(
@@ -126,8 +131,8 @@ Router::Router(const arch::RoutingGraph& graph, RouterOptions options)
 RouteResult Router::route(
     const std::vector<std::vector<RouteNet>>& nets_per_context,
     const std::vector<timing::ContextTimingSpec>* timing,
-    RouteHistory* history,
-    const std::vector<double>* context_criticality) const {
+    RouteHistory* history, const std::vector<double>* context_criticality,
+    CorePool* pool) const {
   const std::size_t num_contexts = graph_.spec().num_contexts;
   MCFPGA_REQUIRE(nets_per_context.size() == num_contexts,
                  "net list must cover every context");
@@ -144,7 +149,7 @@ RouteResult Router::route(
   if (options_.cross_context_mode == CrossContextMode::kNegotiated) {
     const ContextScheduler scheduler(graph_, options_);
     return scheduler.route(nets_per_context, timing, history,
-                           context_criticality);
+                           context_criticality, pool);
   }
 
   std::vector<RouterCore::ContextResult> per_context(num_contexts);
@@ -152,11 +157,20 @@ RouteResult Router::route(
 
   const std::size_t workers =
       effective_threads(options_.num_threads, num_contexts);
+  // One RouterCore (with its arena-backed scratch) per worker thread,
+  // drawn from the caller's pool when it has one so repeated calls reuse
+  // warm scratch.  Slots are claimed first-come — cores are
+  // interchangeable (route_pass fully resets per-pass state), so the
+  // result does not depend on which thread grabs which slot.
+  CorePool local_pool;
+  CorePool& cores = pool != nullptr ? *pool : local_pool;
+  cores.prepare(workers, graph_, options_);
+  std::atomic<std::size_t> next_slot{0};
   parallel_for_index(num_contexts, workers, [&]() {
-    // One RouterCore (with its preallocated scratch) per worker thread.
-    return [&, core = RouterCore(graph_, options_)](std::size_t c) mutable {
+    RouterCore* core = &cores.core(next_slot.fetch_add(1));
+    return [&, core](std::size_t c) {
       try {
-        per_context[c] = core.route_context(
+        per_context[c] = core->route_context(
             nets_per_context[c], timing ? &(*timing)[c] : nullptr,
             history ? &history->per_context[c] : nullptr);
       } catch (...) {

@@ -44,6 +44,8 @@
 
 namespace mcfpga::route {
 
+class CorePool;  // per-worker engine pool (route/router_core.hpp)
+
 struct RouteNet {
   std::string name;
   arch::NodeId source = arch::kInvalidNode;
@@ -64,6 +66,19 @@ struct RoutedNet {
   std::string name;
   arch::NodeId source = arch::kInvalidNode;
   std::vector<RoutedPath> paths;
+};
+
+/// Priority-queue engine behind the maze expansion (router_core.hpp).
+enum class QueueMode : std::uint8_t {
+  /// std::push_heap/pop_heap with lazy deletion — the historical engine,
+  /// bit-identical to every pre-option release.
+  kBinaryHeap,
+  /// Monotone calendar queue over quantized costs (route/bucket_queue.hpp):
+  /// O(1) push/pop, FIFO within a bucket, deterministic for any worker
+  /// count.  Exact Dijkstra while bucket_quantum stays at or below the
+  /// smallest relaxation increment (0.5 with default base costs); routes
+  /// may differ from the heap's only through equal-cost tie-breaks.
+  kBucket,
 };
 
 /// How the router treats the coupling between contexts.
@@ -106,6 +121,7 @@ struct RouterOptions {
     double start = 1.0;  ///< Exponent at rip-up iteration 0.
     double step = 0.0;   ///< Added per rip-up iteration.
     double max = 1.0;    ///< Ceiling of the ramp (>= start).
+    bool operator==(const CriticalityExponentSchedule&) const = default;
   };
   CriticalityExponentSchedule criticality_exponent_schedule{};
   /// Criticality ceiling, keeping a sliver of congestion pressure on even
@@ -124,6 +140,28 @@ struct RouterOptions {
   /// congestion cost, further weighted by the EXPORTING context's
   /// criticality — critical contexts push hard, uncritical ones barely.
   double cross_context_pressure_weight = 0.5;
+  /// Per-round ramp on the pressure weight: negotiation round r applies
+  /// weight * (1 + pressure_ramp * (r - 1)), so early rounds nudge and
+  /// late rounds shove.  0 (the default) is bit-identical to the flat
+  /// weight; must be non-negative.
+  double pressure_ramp = 0.0;
+  /// Maze-expansion priority queue engine (see QueueMode).
+  QueueMode queue_mode = QueueMode::kBinaryHeap;
+  /// Bucket width of the calendar queue (kBucket only).  Costs quantize to
+  /// floor(cost / quantum); exactness holds while this stays at or below
+  /// the smallest relaxation increment, which is 0.5 with the default base
+  /// costs (pin cost 0.5) and default delays (se_delay 1.0 keeps the
+  /// timing-blended increment >= 0.5 for every criticality).  Lower it
+  /// when custom base costs or sub-0.5 SE delays shrink the increment.
+  double bucket_quantum = 0.5;
+  /// Calendar span in buckets before pushes spill to the overflow list
+  /// (kBucket only).  1024 buckets x 0.5 quantum covers a 512-cost
+  /// horizon per rebase — far beyond one relaxation wave.
+  std::size_t bucket_span = 1024;
+
+  /// Member-wise equality: lets engine pools detect that cached per-worker
+  /// state was built for the same job shape and reuse it.
+  bool operator==(const RouterOptions&) const = default;
 
   /// Throws InvalidArgument on out-of-range values (zero iteration budget,
   /// negative increments/weights, ...).  Called by Router's constructor.
@@ -157,6 +195,15 @@ struct ContextRouteSummary {
   /// uses — the raw material of non-constant switch patterns (and of the
   /// cross-context detour pressure the negotiated scheduler relieves).
   std::size_t cross_context_conflicts = 0;
+  /// Maze-expansion engine traffic over the context's whole negotiation
+  /// (every rip-up iteration, net, and sink): queue pushes and pops, pops
+  /// discarded by the lazy-deletion stale check, and nodes whose CSR row
+  /// was actually scanned.  The push/pop mix is the scoreboard the
+  /// binary-heap-vs-bucket benches compare.
+  std::size_t heap_pushes = 0;
+  std::size_t heap_pops = 0;
+  std::size_t stale_pops = 0;
+  std::size_t nodes_expanded = 0;
 };
 
 /// One outer negotiation round of the cross-context scheduler (round 0 is
@@ -225,12 +272,19 @@ class Router {
   /// from the previous iteration's STA (1 - slack/budget under the
   /// shared budget).  Null = every context equally critical (ordering
   /// falls back to context index).  Ignored in kOff mode.
+  ///
+  /// `pool` (may be null = per-call engines) supplies per-worker
+  /// RouterCores whose arena scratch and cached timing DAGs persist
+  /// across calls — the closure loop routes every iteration and the
+  /// negotiated scheduler every round, so reuse removes the per-call
+  /// allocate-and-levelize tax.  Pooled and pool-free results are
+  /// bit-identical.
   RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context,
                     const std::vector<timing::ContextTimingSpec>* timing =
                         nullptr,
                     RouteHistory* history = nullptr,
-                    const std::vector<double>* context_criticality =
-                        nullptr) const;
+                    const std::vector<double>* context_criticality = nullptr,
+                    CorePool* pool = nullptr) const;
 
  private:
   const arch::RoutingGraph& graph_;

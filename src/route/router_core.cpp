@@ -1,11 +1,13 @@
 #include "route/router_core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <limits>
-#include <optional>
 
 #include "common/error.hpp"
+#include "common/prefetch.hpp"
 
 namespace mcfpga::route {
 
@@ -18,14 +20,64 @@ using arch::SwitchOwner;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Epoch headroom: a pass can never consume this many expansions, so
+/// rewinding the stamps whenever a pass STARTS above the threshold keeps
+/// pooled cores (which live across thousands of passes) from ever wrapping
+/// a 32-bit epoch mid-expansion.
+constexpr std::uint32_t kEpochRewind = 0xF0000000u;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Content signature of a timing spec: shape, delays, and every reader
+/// arc.  Two specs with equal signatures levelize to the same DAG, so a
+/// cached TimingEngine may serve either; the cache additionally pins the
+/// spec's address, making a false positive require a respawned object at
+/// the same address whose content ALSO collides — at which point the DAG
+/// is the same anyway.
+std::uint64_t spec_signature(const timing::ContextTimingSpec& spec) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, spec.num_nodes);
+  h = fnv1a(h, std::bit_cast<std::uint64_t>(spec.se_delay));
+  h = fnv1a(h, std::bit_cast<std::uint64_t>(spec.lut_delay));
+  h = fnv1a(h, spec.nets.size());
+  for (const auto& net : spec.nets) {
+    h = fnv1a(h, net.sinks.size());
+    for (const auto& sink : net.sinks) {
+      h = fnv1a(h, sink.readers.size());
+      for (const auto& r : sink.readers) {
+        h = fnv1a(h, (static_cast<std::uint64_t>(r.from) << 32) | r.to);
+        h = fnv1a(h, r.is_lut ? 1u : 0u);
+      }
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 RouterCore::RouterCore(const arch::RoutingGraph& graph,
-                       const RouterOptions& options)
-    : graph_(graph), options_(options) {
+                       const RouterOptions& options,
+                       common::ScratchArena* arena)
+    : graph_(graph), options_(options), arena_(arena) {
+  if (arena_ == nullptr) {
+    arena_owned_ = std::make_unique<common::ScratchArena>();
+    arena_ = arena_owned_.get();
+  }
+  arena_->reset();
   const std::size_t n = graph_.num_nodes();
-  base_cost_.resize(n);
-  is_wire_.resize(n);
+  scratch_nodes_ = n;
+  base_cost_ = arena_->alloc<double>(n);
+  is_wire_ = arena_->alloc<std::uint8_t>(n);
+  occupancy_ = arena_->alloc<int>(n);
+  history_ = arena_->alloc<double>(n);
+  node_cost_ = arena_->alloc<double>(n);
+  nodes_ = arena_->alloc<NodeState>(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& node = graph_.node(static_cast<NodeId>(i));
     is_wire_[i] = node.kind == NodeKind::kWire ? 1 : 0;
@@ -40,13 +92,16 @@ RouterCore::RouterCore(const arch::RoutingGraph& graph,
       base_cost_[i] = 1.0;
     }
   }
-  occupancy_.resize(n);
-  history_.resize(n);
-  dist_.resize(n);
-  prev_.resize(n);
-  dist_epoch_.assign(n, 0);
-  in_tree_epoch_.assign(n, 0);
-  tree_depth_.assign(n, 0);
+  // Zeroed stamps are stale against the pre-incremented epochs (first use
+  // is 1); dist/prev/depth are don't-care until stamped.
+  if (n > 0) {
+    std::memset(nodes_, 0, n * sizeof(NodeState));
+    std::memset(occupancy_, 0, n * sizeof(int));
+    std::memset(history_, 0, n * sizeof(double));
+    std::memset(node_cost_, 0, n * sizeof(double));
+  }
+  epoch_ = 0;
+  tree_epoch_ = 0;
 }
 
 void RouterCore::heap_push(double cost, NodeId node) {
@@ -58,6 +113,7 @@ void RouterCore::heap_push(double cost, NodeId node) {
 }
 
 RouterCore::HeapItem RouterCore::heap_pop() {
+  MCFPGA_REQUIRE(!heap_.empty(), "pop from an empty router heap");
   std::pop_heap(heap_.begin(), heap_.end(),
                 [](const HeapItem& a, const HeapItem& b) {
                   return a.cost > b.cost;
@@ -68,7 +124,126 @@ RouterCore::HeapItem RouterCore::heap_pop() {
 }
 
 double RouterCore::dist_of(std::size_t node) const {
-  return dist_epoch_[node] == epoch_ ? dist_[node] : kInf;
+  return nodes_[node].dist_epoch == epoch_ ? nodes_[node].dist : kInf;
+}
+
+void RouterCore::refresh_node_cost(std::size_t idx) {
+  // Cross-context pressure is a present-cost term: wires claimed by
+  // other (weighted by how critical) contexts look congested before this
+  // context ever touches them.  Null pressure = bit-identical to the
+  // independent router.  The expression and its operation order are the
+  // historical inline ones, so the cache is bit-neutral.
+  double congestion = 1.0 + history_[idx] +
+                      present_factor_ * static_cast<double>(occupancy_[idx]);
+  if (pressure_of_ != nullptr) {
+    congestion += pressure_of_[idx];
+  }
+  node_cost_[idx] = base_cost_[idx] * congestion;
+}
+
+template <typename Queue>
+bool RouterCore::expand_to_sink(Queue& queue,
+                                const std::vector<arch::NodeId>& tree,
+                                arch::NodeId sink, double cong_scale,
+                                double delay_term, ContextResult& result) {
+  const std::vector<std::size_t>& offsets = graph_.csr_offsets();
+  const std::vector<EdgeId>& csr_edges = graph_.csr_edges();
+  const std::vector<NodeId>& csr_targets = graph_.csr_targets();
+
+  ++epoch_;
+  queue.clear();
+  for (const NodeId t : tree) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    NodeState& s = nodes_[ti];
+    const double seed = delay_term * static_cast<double>(s.depth);
+    s.dist = seed;
+    s.prev = -1;
+    s.dist_epoch = epoch_;
+    queue.push(seed, t);
+    ++result.heap_pushes;
+  }
+  while (!queue.empty()) {
+    const auto item = queue.pop();
+    ++result.heap_pops;
+    const std::size_t u = static_cast<std::size_t>(item.node);
+    if (item.cost > dist_of(u)) {
+      ++result.stale_pops;
+      continue;
+    }
+    if (item.node == sink) {
+      return true;
+    }
+    // Pins and pads are terminals: do not route THROUGH them.
+    if (is_wire_[u] == 0 && item.cost != 0.0) {
+      continue;
+    }
+    ++result.nodes_expanded;
+    const std::size_t end = offsets[u + 1];
+    for (std::size_t at = offsets[u]; at < end; ++at) {
+      const NodeId v = csr_targets[at];
+      const std::size_t vi = static_cast<std::size_t>(v);
+      if (at + 1 < end) {
+        // The next neighbor's cost and route record are known one step
+        // early — overlap their (likely-missing) loads with this one.
+        const std::size_t ni = static_cast<std::size_t>(csr_targets[at + 1]);
+        MCFPGA_PREFETCH(&node_cost_[ni]);
+        MCFPGA_PREFETCH(&nodes_[ni]);
+      }
+      // Only the target sink may be entered among non-wire nodes.
+      if (is_wire_[vi] == 0 && v != sink) {
+        continue;
+      }
+      // Nodes already in the net's tree are seeds, never targets:
+      // relaxing one below its upstream-delay seed would back-trace
+      // a second switch into it (a double-driven wire).  With zero
+      // seeds this skip is a no-op — every relaxation cost is
+      // strictly positive — so congestion-mode routing is untouched.
+      NodeState& sv = nodes_[vi];
+      if (sv.tree_epoch == tree_epoch_) {
+        continue;
+      }
+      const double nd = item.cost + cong_scale * node_cost_[vi] + delay_term;
+      if (nd < (sv.dist_epoch == epoch_ ? sv.dist : kInf)) {
+        sv.dist = nd;
+        sv.prev = csr_edges[at];
+        sv.dist_epoch = epoch_;
+        queue.push(nd, v);
+        ++result.heap_pushes;
+        // The pushed node's CSR row is its expansion's first load.
+        MCFPGA_PREFETCH(&csr_targets[offsets[vi]]);
+      }
+    }
+  }
+  return false;
+}
+
+RouterCore::TimingEngine& RouterCore::timing_engine(
+    const timing::ContextTimingSpec& spec) {
+  const std::uint64_t sig = spec_signature(spec);
+  for (auto& eng : timing_cache_) {
+    if (eng->spec == &spec && eng->signature == sig) {
+      // Rewind to the unit-switch prior.  Incremental analyze() is
+      // bit-identical to a from-scratch pass (the TimingGraph property
+      // tests' oracle), so a cache hit is indistinguishable from a fresh
+      // levelization — minus the levelization.
+      for (std::size_t conn = 0; conn < eng->arcs.num_connections(); ++conn) {
+        eng->arcs.set_connection_switches(eng->sta, conn, 1);
+      }
+      eng->sta.analyze();
+      return *eng;
+    }
+  }
+  // A same-address miss means the spec object was rewritten: drop the
+  // stale engine rather than letting the cache grow one corpse per edit.
+  std::erase_if(timing_cache_, [&](const std::unique_ptr<TimingEngine>& e) {
+    return e->spec == &spec;
+  });
+  if (timing_cache_.size() >= 8) {
+    timing_cache_.erase(timing_cache_.begin());
+  }
+  timing_cache_.push_back(std::make_unique<TimingEngine>(spec, sig));
+  timing_cache_.back()->sta.analyze();  // logic-depth criticality prior
+  return *timing_cache_.back();
 }
 
 RouterCore::ContextResult RouterCore::route_pass(
@@ -77,31 +252,48 @@ RouterCore::ContextResult RouterCore::route_pass(
     const std::vector<double>* pressure,
     std::vector<std::uint8_t>* usage_out) {
   const std::size_t num_nodes = graph_.num_nodes();
+  MCFPGA_CHECK(scratch_nodes_ == num_nodes,
+               "route_pass scratch must be graph-node-sized");
   MCFPGA_REQUIRE(pressure == nullptr || pressure->size() == num_nodes,
                  "cross-context pressure must be graph-node-sized");
-  const double* pressure_of = pressure ? pressure->data() : nullptr;
-  std::fill(occupancy_.begin(), occupancy_.end(), 0);
+  pressure_of_ = pressure ? pressure->data() : nullptr;
+  std::fill_n(occupancy_, num_nodes, 0);
   if (history != nullptr && history->size() == num_nodes) {
     // Carry-in from a previous closure-loop iteration: start negotiation
     // with the congestion lessons already learned on this context.
-    std::copy(history->begin(), history->end(), history_.begin());
+    std::copy(history->begin(), history->end(), history_);
   } else {
-    std::fill(history_.begin(), history_.end(), 0.0);
+    std::fill_n(history_, num_nodes, 0.0);
   }
-  double present_factor = 0.5;
+  present_factor_ = 0.5;
 
-  const std::vector<std::size_t>& offsets = graph_.csr_offsets();
-  const std::vector<EdgeId>& csr_edges = graph_.csr_edges();
-  const std::vector<NodeId>& csr_targets = graph_.csr_targets();
+  // A pooled core lives across thousands of passes; rewind the 32-bit
+  // epoch stamps long before they could wrap mid-pass.
+  if (epoch_ >= kEpochRewind || tree_epoch_ >= kEpochRewind) {
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      nodes_[i].dist_epoch = 0;
+      nodes_[i].tree_epoch = 0;
+    }
+    epoch_ = 0;
+    tree_epoch_ = 0;
+  }
+
+  const bool bucket_mode = options_.queue_mode == QueueMode::kBucket;
+  if (bucket_mode) {
+    bucket_.configure(options_.bucket_quantum, options_.bucket_span);
+    bucket_.clear();
+  }
+  BinaryQueue binary{*this};
 
   // Per-context incremental STA (timing-driven mode only).  The DAG's
   // topology is fixed for the whole negotiation; only switch counts — arc
   // delays — change between iterations, which is exactly the incremental
-  // case TimingGraph::analyze() is built for.
+  // case TimingGraph::analyze() is built for.  The levelized engine is
+  // cached across passes (timing_engine), so negotiation rounds and
+  // closure iterations re-time instead of re-levelizing.
   const bool timing_driven = options_.timing_mode && timing != nullptr;
-  std::optional<timing::ConnectionArcs> conn_arcs;
-  std::optional<timing::TimingGraph> sta;
-  std::vector<double> crit;  // flat (net, sink) -> criticality in [0, 1]
+  timing::ConnectionArcs* conn_arcs = nullptr;
+  timing::TimingGraph* sta = nullptr;
   if (timing_driven) {
     MCFPGA_REQUIRE(timing->nets.size() == nets.size(),
                    "timing spec must parallel the context's net list");
@@ -109,10 +301,10 @@ RouterCore::ContextResult RouterCore::route_pass(
       MCFPGA_REQUIRE(timing->nets[i].sinks.size() == nets[i].sinks.size(),
                      "timing spec sinks must parallel the net's sinks");
     }
-    conn_arcs.emplace(*timing);
-    sta.emplace(timing->num_nodes, conn_arcs->arcs());
-    sta->analyze();  // unit-switch estimates: logic-depth criticality
-    crit.resize(conn_arcs->num_connections());
+    TimingEngine& engine = timing_engine(*timing);
+    conn_arcs = &engine.arcs;
+    sta = &engine.sta;
+    crit_.assign(conn_arcs->num_connections(), 0.0);
   }
   // VPR-style exponent ramp: the sharpening applied to criticalities
   // grows across rip-up iterations, so early rounds spread congestion
@@ -124,12 +316,12 @@ RouterCore::ContextResult RouterCore::route_pass(
   };
   const auto refresh_criticality = [&](std::size_t iteration) {
     const double exponent = exponent_at(iteration);
-    for (std::size_t conn = 0; conn < crit.size(); ++conn) {
+    for (std::size_t conn = 0; conn < crit_.size(); ++conn) {
       double c = conn_arcs->connection_criticality(*sta, conn);
       if (exponent != 1.0) {
         c = std::pow(c, exponent);
       }
-      crit[conn] = std::min(c, options_.max_criticality);
+      crit_[conn] = std::min(c, options_.max_criticality);
     }
   };
   if (timing_driven) {
@@ -142,28 +334,23 @@ RouterCore::ContextResult RouterCore::route_pass(
 
   const auto unroute = [&](std::size_t i) {
     for (const NodeId n : tree_nodes[i]) {
-      --occupancy_[static_cast<std::size_t>(n)];
+      const std::size_t ni = static_cast<std::size_t>(n);
+      --occupancy_[ni];
+      refresh_node_cost(ni);
     }
     tree_nodes[i].clear();
     result.nets[i].paths.clear();
   };
 
-  const auto node_cost = [&](std::size_t idx) {
-    // Cross-context pressure is a present-cost term: wires claimed by
-    // other (weighted by how critical) contexts look congested before this
-    // context ever touches them.  Null pressure = bit-identical to the
-    // independent router.
-    double congestion = 1.0 + history_[idx] +
-                        present_factor * static_cast<double>(occupancy_[idx]);
-    if (pressure_of != nullptr) {
-      congestion += pressure_of[idx];
-    }
-    return base_cost_[idx] * congestion;
-  };
-
   bool converged = false;
   std::size_t iter = 0;
   for (; iter < options_.max_iterations; ++iter) {
+    // Congestion inputs (history, present factor) changed since the last
+    // iteration: rebuild the hoisted per-node cost once, then patch it on
+    // the O(tree) occupancy edits below.
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      refresh_node_cost(n);
+    }
     for (std::size_t i = 0; i < nets.size(); ++i) {
       const RouteNet& net = nets[i];
       if (!tree_nodes[i].empty()) {
@@ -176,8 +363,8 @@ RouterCore::ContextResult RouterCore::route_pass(
       std::vector<NodeId>& tree = tree_nodes[i];
       tree.push_back(net.source);
       ++tree_epoch_;
-      in_tree_epoch_[static_cast<std::size_t>(net.source)] = tree_epoch_;
-      tree_depth_[static_cast<std::size_t>(net.source)] = 0;
+      nodes_[static_cast<std::size_t>(net.source)].tree_epoch = tree_epoch_;
+      nodes_[static_cast<std::size_t>(net.source)].depth = 0;
 
       for (std::size_t j = 0; j < net.sinks.size(); ++j) {
         const NodeId sink = net.sinks[j];
@@ -192,62 +379,15 @@ RouterCore::ContextResult RouterCore::route_pass(
         double cong_scale = 1.0;
         double delay_term = 0.0;
         if (timing_driven) {
-          const double c = crit[conn_arcs->connection(i, j)];
+          const double c = crit_[conn_arcs->connection(i, j)];
           cong_scale = 1.0 - c;
           delay_term = c * timing->se_delay;
         }
-        ++epoch_;
-        heap_.clear();
-        for (const NodeId t : tree) {
-          const std::size_t ti = static_cast<std::size_t>(t);
-          const double seed =
-              delay_term * static_cast<double>(tree_depth_[ti]);
-          dist_[ti] = seed;
-          prev_[ti] = -1;
-          dist_epoch_[ti] = epoch_;
-          heap_push(seed, t);
-        }
-        bool found = false;
-        while (!heap_.empty()) {
-          const HeapItem item = heap_pop();
-          const std::size_t u = static_cast<std::size_t>(item.node);
-          if (item.cost > dist_of(u)) {
-            continue;
-          }
-          if (item.node == sink) {
-            found = true;
-            break;
-          }
-          // Pins and pads are terminals: do not route THROUGH them.
-          if (is_wire_[u] == 0 && item.cost != 0.0) {
-            continue;
-          }
-          const std::size_t end = offsets[u + 1];
-          for (std::size_t at = offsets[u]; at < end; ++at) {
-            const NodeId v = csr_targets[at];
-            const std::size_t vi = static_cast<std::size_t>(v);
-            // Only the target sink may be entered among non-wire nodes.
-            if (is_wire_[vi] == 0 && v != sink) {
-              continue;
-            }
-            // Nodes already in the net's tree are seeds, never targets:
-            // relaxing one below its upstream-delay seed would back-trace
-            // a second switch into it (a double-driven wire).  With zero
-            // seeds this skip is a no-op — every relaxation cost is
-            // strictly positive — so congestion-mode routing is untouched.
-            if (in_tree_epoch_[vi] == tree_epoch_) {
-              continue;
-            }
-            const double nd =
-                item.cost + cong_scale * node_cost(vi) + delay_term;
-            if (nd < dist_of(vi)) {
-              dist_[vi] = nd;
-              prev_[vi] = csr_edges[at];
-              dist_epoch_[vi] = epoch_;
-              heap_push(nd, v);
-            }
-          }
-        }
+        const bool found =
+            bucket_mode ? expand_to_sink(bucket_, tree, sink, cong_scale,
+                                         delay_term, result)
+                        : expand_to_sink(binary, tree, sink, cong_scale,
+                                         delay_term, result);
         if (!found) {
           throw FlowError("router: no physical path from " +
                           graph_.node(net.source).name + " to " +
@@ -257,8 +397,8 @@ RouterCore::ContextResult RouterCore::route_pass(
         RoutedPath path;
         path.sink = sink;
         NodeId cur = sink;
-        while (prev_[static_cast<std::size_t>(cur)] != -1) {
-          const EdgeId e = prev_[static_cast<std::size_t>(cur)];
+        while (nodes_[static_cast<std::size_t>(cur)].prev != -1) {
+          const EdgeId e = nodes_[static_cast<std::size_t>(cur)].prev;
           path.edges.push_back(e);
           if (graph_.rr_switch(graph_.edge(e).sw).owner ==
               SwitchOwner::kDiamond) {
@@ -273,10 +413,11 @@ RouterCore::ContextResult RouterCore::route_pass(
         for (const EdgeId e : path.edges) {
           const NodeId v = graph_.edge(e).to;
           const std::size_t vi = static_cast<std::size_t>(v);
-          if (in_tree_epoch_[vi] != tree_epoch_) {
-            in_tree_epoch_[vi] = tree_epoch_;
-            tree_depth_[vi] =
-                tree_depth_[static_cast<std::size_t>(graph_.edge(e).from)] + 1;
+          if (nodes_[vi].tree_epoch != tree_epoch_) {
+            nodes_[vi].tree_epoch = tree_epoch_;
+            nodes_[vi].depth =
+                nodes_[static_cast<std::size_t>(graph_.edge(e).from)].depth +
+                1;
             tree.push_back(v);
           }
         }
@@ -284,7 +425,9 @@ RouterCore::ContextResult RouterCore::route_pass(
       }
 
       for (const NodeId n : tree) {
-        ++occupancy_[static_cast<std::size_t>(n)];
+        const std::size_t ni = static_cast<std::size_t>(n);
+        ++occupancy_[ni];
+        refresh_node_cost(ni);
       }
     }
 
@@ -302,7 +445,7 @@ RouterCore::ContextResult RouterCore::route_pass(
       converged = true;
       break;
     }
-    present_factor *= options_.present_factor_growth;
+    present_factor_ *= options_.present_factor_growth;
 
     if (timing_driven) {
       // Re-time every connection at its current switch count (incremental:
@@ -321,7 +464,7 @@ RouterCore::ContextResult RouterCore::route_pass(
   }
 
   if (history != nullptr) {
-    *history = history_;
+    history->assign(history_, history_ + num_nodes);
   }
   if (usage_out != nullptr) {
     // Final occupancy is exactly the set of nodes the committed trees
@@ -334,6 +477,7 @@ RouterCore::ContextResult RouterCore::route_pass(
       }
     }
   }
+  pressure_of_ = nullptr;
   // On convergence the loop broke at index `iter`; otherwise the loop
   // condition already advanced iter to max_iterations.
   result.iterations = converged ? iter + 1 : iter;
@@ -345,6 +489,25 @@ RouterCore::ContextResult RouterCore::route_pass(
     }
   }
   return result;
+}
+
+void CorePool::prepare(std::size_t count, const arch::RoutingGraph& graph,
+                       const RouterOptions& options) {
+  if (slots_.size() < count) {
+    slots_.resize(count);
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    Slot& slot = slots_[s];
+    if (!slot.arena) {
+      slot.arena = std::make_unique<common::ScratchArena>();
+    }
+    if (slot.core && &slot.core->graph() == &graph &&
+        slot.core->options() == options) {
+      continue;  // warm core, same job shape: reuse as-is
+    }
+    slot.core.reset();  // release before the ctor resets the arena
+    slot.core = std::make_unique<RouterCore>(graph, options, slot.arena.get());
+  }
 }
 
 RouteResult merge_context_results(
@@ -374,6 +537,10 @@ RouteResult merge_context_results(
     result.context_summary[c].nets = ctx.nets.size();
     result.context_summary[c].wire_nodes_used = ctx.wire_nodes_used;
     result.context_summary[c].switches_crossed = ctx.switches_crossed;
+    result.context_summary[c].heap_pushes = ctx.heap_pushes;
+    result.context_summary[c].heap_pops = ctx.heap_pops;
+    result.context_summary[c].stale_pops = ctx.stale_pops;
+    result.context_summary[c].nodes_expanded = ctx.nodes_expanded;
     result.nets[c] = std::move(ctx.nets);
   }
   const std::vector<std::size_t> conflicts =

@@ -1,7 +1,7 @@
 // Reusable per-context PathFinder engine.
 //
 // A RouterCore owns all scratch state one context's negotiation needs —
-// cost/history/occupancy arrays, the Dijkstra heap, epoch-stamped
+// cost/history/occupancy arrays, the expansion queue, epoch-stamped
 // distance/visited marks — preallocated once per routing-graph size and
 // reset cheaply between contexts.  Contexts are independent (a physical
 // wire carries a different signal in every context), so Router::route can
@@ -9,8 +9,33 @@
 // in context order; the merged RouteResult is bit-identical to routing the
 // contexts serially.
 //
-// The hot loop walks the graph's flat CSR arrays (RoutingGraph::csr_*)
-// instead of chasing per-node edge vectors.
+// Hot-path layout: the maze expansion walks the graph's flat CSR arrays
+// (RoutingGraph::csr_*) and keeps all per-node expansion state — distance,
+// back-pointer, epoch stamps, route-tree depth — in one packed 24-byte
+// NodeState record, so one relaxation touches one cache line of node state
+// instead of five scattered vectors.  The records (and every other
+// graph-sized scratch array) are carved from a common::ScratchArena that a
+// worker can keep alive across contexts, passes, negotiation rounds, and
+// closure iterations — rebuilding a core on a pooled arena reuses the same
+// cache-warm block instead of re-mallocing (see CorePool).  The congestion
+// cost is hoisted out of the relaxation loop into a per-node cache that is
+// rebuilt once per rip-up iteration and patched on the O(tree) occupancy
+// updates, so the inner loop loads exactly one double per neighbor; CSR
+// rows are software-prefetched one hop ahead.
+//
+// Queue engines (RouterOptions::queue_mode):
+//   kBinaryHeap — std::push_heap/pop_heap with lazy deletion.  The
+//                 default; bit-identical to the historical router.
+//   kBucket     — monotone calendar queue over quantized costs
+//                 (route/bucket_queue.hpp): O(1) push/pop, FIFO within a
+//                 bucket, deterministic for any worker count.  Costs are
+//                 exact Dijkstra distances while bucket_quantum stays at
+//                 or below the smallest relaxation increment; only
+//                 tie-breaking among near-equal costs differs from the
+//                 heap, so routes may differ but each expansion still
+//                 commits a minimum-cost path.
+// Both engines count their traffic (heap pushes/pops, stale pops, nodes
+// expanded) into ContextResult for the bench scoreboard.
 //
 // The engine exposes a resumable per-pass API (route_pass): one call is
 // one full PathFinder negotiation of one context, but a pass can seed
@@ -30,14 +55,20 @@
 // detours for deep paths.  Reused route-tree wire is seeded into the
 // expansion at its accumulated upstream delay (crit-weighted), so the
 // router can trade a longer detour near the source for a shorter critical
-// tail instead of treating every branch point as free.
+// tail instead of treating every branch point as free.  The levelized
+// ConnectionArcs/TimingGraph pair is cached per spec (content-signature
+// keyed), so closure iterations and negotiation rounds that re-route the
+// same context re-time incrementally instead of re-levelizing the DAG.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/routing_graph.hpp"
+#include "common/arena.hpp"
+#include "route/bucket_queue.hpp"
 #include "route/router.hpp"
 #include "timing/net_timing.hpp"
 #include "timing/timing_graph.hpp"
@@ -55,9 +86,23 @@ class RouterCore {
     /// post-hoc re-scan of every net).
     std::size_t wire_nodes_used = 0;
     std::size_t switches_crossed = 0;
+    /// Expansion-engine traffic over the whole pass (every iteration,
+    /// net, and sink): queue pushes and pops, pops discarded by the lazy-
+    /// deletion stale check, and nodes whose CSR row was actually scanned.
+    std::size_t heap_pushes = 0;
+    std::size_t heap_pops = 0;
+    std::size_t stale_pops = 0;
+    std::size_t nodes_expanded = 0;
   };
 
-  RouterCore(const arch::RoutingGraph& graph, const RouterOptions& options);
+  /// `arena` (may be null = private arena) provides the graph-sized
+  /// scratch storage; constructing a core RESETS it, invalidating any
+  /// earlier core built on the same arena.
+  RouterCore(const arch::RoutingGraph& graph, const RouterOptions& options,
+             common::ScratchArena* arena = nullptr);
+
+  const arch::RoutingGraph& graph() const { return graph_; }
+  const RouterOptions& options() const { return options_; }
 
   /// One negotiation pass over one context's nets — a full PathFinder
   /// rip-up/re-route loop.  Throws FlowError when a net has no physical
@@ -100,42 +145,135 @@ class RouterCore {
     arch::NodeId node;
   };
 
+  /// Packed per-node expansion record: everything one relaxation reads or
+  /// writes about a node, on one cache line (24 bytes).  Epoch stamps make
+  /// per-expansion resets O(touched); `depth` is the switch count from the
+  /// net's source to this route-tree node (valid under tree_epoch) — the
+  /// upstream delay a timing-driven expansion charges for reused wire.
+  struct NodeState {
+    double dist;
+    arch::EdgeId prev;
+    std::uint32_t dist_epoch;
+    std::uint32_t tree_epoch;
+    std::uint32_t depth;
+  };
+
+  /// Binary-heap engine behind the same push/pop interface the bucket
+  /// queue exposes, so the expansion template serves both.
+  struct BinaryQueue {
+    RouterCore& core;
+    void clear() { core.heap_.clear(); }
+    bool empty() const { return core.heap_.empty(); }
+    void push(double cost, arch::NodeId node) { core.heap_push(cost, node); }
+    HeapItem pop() { return core.heap_pop(); }
+  };
+
+  /// Cached levelized timing engine of one spec.  Keyed by the spec's
+  /// address plus a content signature (shape, delays, reader arcs), so a
+  /// respawned spec object at the same address with different content can
+  /// never alias a stale DAG.
+  struct TimingEngine {
+    const timing::ContextTimingSpec* spec;
+    std::uint64_t signature;
+    timing::ConnectionArcs arcs;
+    timing::TimingGraph sta;
+    TimingEngine(const timing::ContextTimingSpec& s, std::uint64_t sig)
+        : spec(&s), signature(sig), arcs(s), sta(s.num_nodes, arcs.arcs()) {}
+  };
+
   void heap_push(double cost, arch::NodeId node);
   HeapItem heap_pop();
 
-  /// Distance of `node` in the current Dijkstra epoch (infinity if untouched).
+  /// Distance of `node` in the current Dijkstra epoch (infinity if
+  /// untouched).
   double dist_of(std::size_t node) const;
+
+  /// Recomputes one node's cached congestion cost from its current
+  /// occupancy/history/pressure — the exact expression the relaxation
+  /// loop used to evaluate inline, so caching is bit-neutral.
+  void refresh_node_cost(std::size_t idx);
+
+  /// Seeds the route tree into `queue` and expands until `sink` pops.
+  /// Returns false when the sink is unreachable.  Counter traffic lands in
+  /// `result`.
+  template <typename Queue>
+  bool expand_to_sink(Queue& queue, const std::vector<arch::NodeId>& tree,
+                      arch::NodeId sink, double cong_scale, double delay_term,
+                      ContextResult& result);
+
+  /// Returns the cached (or freshly built) timing engine for `spec`,
+  /// reset to unit-switch delays and re-analyzed — identical state to a
+  /// fresh levelization, without rebuilding the DAG on a cache hit.
+  TimingEngine& timing_engine(const timing::ContextTimingSpec& spec);
 
   const arch::RoutingGraph& graph_;
   RouterOptions options_;
 
-  // Graph-shaped constants, precomputed once.
-  std::vector<double> base_cost_;  ///< Per-node occupancy cost.
-  std::vector<std::uint8_t> is_wire_;
+  // Arena-backed graph-sized arrays (see the class comment).  The arena
+  // outlives the core when pooled; the core resets it at construction.
+  std::unique_ptr<common::ScratchArena> arena_owned_;
+  common::ScratchArena* arena_;
+  std::size_t scratch_nodes_ = 0;  ///< Node count the scratch was sized for.
 
-  // Negotiation state, reset per context.
-  std::vector<int> occupancy_;
-  std::vector<double> history_;
+  // Graph-shaped constants, precomputed once.
+  double* base_cost_ = nullptr;  ///< Per-node occupancy cost.
+  std::uint8_t* is_wire_ = nullptr;
+
+  // Negotiation state, reset per pass.
+  int* occupancy_ = nullptr;
+  double* history_ = nullptr;
+  /// Hoisted congestion cost: node_cost_[i] == base_cost_[i] * (1 +
+  /// history + present_factor * occupancy [+ pressure]) at all times
+  /// during an expansion.  Rebuilt per rip-up iteration, patched on the
+  /// O(tree) occupancy updates.
+  double* node_cost_ = nullptr;
 
   // Dijkstra scratch, epoch-stamped so resets are O(touched).
-  std::vector<double> dist_;
-  std::vector<arch::EdgeId> prev_;
-  std::vector<std::uint32_t> dist_epoch_;
+  NodeState* nodes_ = nullptr;
   std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> in_tree_epoch_;
   std::uint32_t tree_epoch_ = 0;
-  /// Switch crossings from the net's source to each route-tree node (valid
-  /// for nodes stamped with the current tree_epoch_): the upstream delay a
-  /// timing-driven expansion charges when it reuses tree wire.
-  std::vector<std::uint32_t> tree_depth_;
+
+  // Pass-scoped cost inputs captured for refresh_node_cost.
+  double present_factor_ = 0.5;
+  const double* pressure_of_ = nullptr;
+
   std::vector<HeapItem> heap_;
+  BucketQueue bucket_;
+
+  // Timing caches (see TimingEngine) plus the per-pass criticality buffer.
+  std::vector<std::unique_ptr<TimingEngine>> timing_cache_;
+  std::vector<double> crit_;
+};
+
+/// Pool of per-worker engine state: one RouterCore per slot, each on its
+/// own ScratchArena, kept alive across routing calls so passes, rounds,
+/// and closure iterations reuse warm scratch and cached timing DAGs
+/// instead of re-mallocing and re-levelizing.  prepare() rebuilds a slot's
+/// core only when the graph or options changed (the arena is reused even
+/// then).  Slots are interchangeable — any core produces bit-identical
+/// results for the same pass inputs — so callers may hand them to workers
+/// in any order without perturbing determinism.  Not thread-safe: call
+/// prepare() before fanning out, then give each worker its own slot.
+class CorePool {
+ public:
+  void prepare(std::size_t count, const arch::RoutingGraph& graph,
+               const RouterOptions& options);
+  RouterCore& core(std::size_t slot) { return *slots_[slot].core; }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<common::ScratchArena> arena;
+    std::unique_ptr<RouterCore> core;
+  };
+  std::vector<Slot> slots_;
 };
 
 /// Deterministic merge of per-context results into one RouteResult:
-/// switch patterns, summaries (including cross_context_conflicts) and net
-/// lists assembled in context order, independent of which worker produced
-/// what.  Shared by the independent Router::route path and the
-/// cross-context scheduler.
+/// switch patterns, summaries (including cross_context_conflicts and the
+/// expansion-engine counters) and net lists assembled in context order,
+/// independent of which worker produced what.  Shared by the independent
+/// Router::route path and the cross-context scheduler.
 RouteResult merge_context_results(
     const arch::RoutingGraph& graph,
     std::vector<RouterCore::ContextResult>&& per_context);

@@ -1,10 +1,10 @@
 #include "route/schedule.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <numeric>
-#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -48,11 +48,28 @@ ContextScheduler::ContextScheduler(const arch::RoutingGraph& graph,
 RouteResult ContextScheduler::route(
     const std::vector<std::vector<RouteNet>>& nets_per_context,
     const std::vector<timing::ContextTimingSpec>* timing,
-    RouteHistory* history,
-    const std::vector<double>* context_criticality) const {
+    RouteHistory* history, const std::vector<double>* context_criticality,
+    CorePool* pool) const {
   using clock = std::chrono::steady_clock;
   const std::size_t num_contexts = nets_per_context.size();
   const std::size_t num_nodes = graph_.num_nodes();
+
+  // Per-worker engines, persistent across rounds (and across calls when
+  // the caller passed a pool): every round reuses the same arena scratch
+  // and cached timing DAGs.  Slot 0 doubles as the claim pass's engine.
+  const std::size_t workers =
+      effective_threads(options_.num_threads, num_contexts);
+  CorePool local_pool;
+  CorePool& cores = pool != nullptr ? *pool : local_pool;
+  cores.prepare(std::max<std::size_t>(workers, 1), graph_, options_);
+
+  // Effective pressure weight of one negotiation round: the flat weight,
+  // ramped up round by round when pressure_ramp is set (ramp 0 multiplies
+  // by exactly 1.0 — bit-identical to the historical flat weight).
+  const auto pressure_weight_at = [&](std::size_t round) {
+    return options_.cross_context_pressure_weight *
+           (1.0 + options_.pressure_ramp * static_cast<double>(round - 1));
+  };
 
   // Per-context criticalities in [0, 1]; null = all equally critical, so
   // the claim order degenerates to context order and every context
@@ -112,13 +129,15 @@ RouteResult ContextScheduler::route(
   const auto run_parallel_round =
       [&](const std::vector<std::vector<double>>* pressure) {
         std::vector<std::exception_ptr> errors(num_contexts);
-        const std::size_t workers =
-            effective_threads(options_.num_threads, num_contexts);
+        std::atomic<std::size_t> next_slot{0};
         parallel_for_index(num_contexts, workers, [&]() {
-          return [&, core = RouterCore(graph_, options_)](
-                     std::size_t c) mutable {
+          // Pool slots are interchangeable (route_pass fully resets
+          // per-pass state), so first-come claiming cannot perturb the
+          // result.
+          RouterCore* core = &cores.core(next_slot.fetch_add(1));
+          return [&, core](std::size_t c) {
             try {
-              current[c] = core.route_pass(
+              current[c] = core->route_pass(
                   nets_per_context[c], timing ? &(*timing)[c] : nullptr,
                   &hist[c], pressure ? &(*pressure)[c] : nullptr, &usage[c]);
             } catch (...) {
@@ -138,12 +157,13 @@ RouteResult ContextScheduler::route(
   // 0..k-1 ONLY — critical contexts claim wires first, everyone after
   // them detours around the claims.
   const auto run_claim_round = [&]() {
-    RouterCore core(graph_, options_);
+    RouterCore& core = cores.core(0);
+    const double weight = pressure_weight_at(1);
     std::vector<double> accum(num_nodes, 0.0);
     std::vector<double> pressure(num_nodes, 0.0);
     for (const std::size_t c : order) {
       for (std::size_t n = 0; n < num_nodes; ++n) {
-        pressure[n] = options_.cross_context_pressure_weight * accum[n];
+        pressure[n] = weight * accum[n];
       }
       current[c] =
           core.route_pass(nets_per_context[c],
@@ -158,9 +178,11 @@ RouteResult ContextScheduler::route(
   };
 
   // Jacobi pressure for rounds >= 2: context c sees every peer's usage,
-  // weighted by the EXPORTING context's criticality.  Folded in context
-  // order, so the map is identical for any worker count.
-  const auto build_jacobi_pressure = [&]() {
+  // weighted by the EXPORTING context's criticality and the round's ramped
+  // weight.  Folded in context order, so the map is identical for any
+  // worker count.
+  const auto build_jacobi_pressure = [&](std::size_t round) {
+    const double weight = pressure_weight_at(round);
     std::vector<double> total(num_nodes, 0.0);
     for (std::size_t c = 0; c < num_contexts; ++c) {
       for (std::size_t n = 0; n < num_nodes; ++n) {
@@ -174,8 +196,7 @@ RouteResult ContextScheduler::route(
       pressure[c].resize(num_nodes);
       for (std::size_t n = 0; n < num_nodes; ++n) {
         const double own = usage[c][n] != 0 ? crit[c] : 0.0;
-        pressure[c][n] =
-            options_.cross_context_pressure_weight * (total[n] - own);
+        pressure[c][n] = weight * (total[n] - own);
       }
     }
     return pressure;
@@ -249,7 +270,7 @@ RouteResult ContextScheduler::route(
         run_claim_round();
       } else {
         const std::vector<std::vector<double>> pressure =
-            build_jacobi_pressure();
+            build_jacobi_pressure(round);
         run_parallel_round(&pressure);
       }
       const Score score = evaluate_and_record(round, start);

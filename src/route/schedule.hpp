@@ -26,7 +26,10 @@
 //            across rounds.  Pressure folds each exporting context's
 //            per-node wire usage into the importer's present cost,
 //            weighted by the EXPORTER's criticality and
-//            RouterOptions::cross_context_pressure_weight.
+//            RouterOptions::cross_context_pressure_weight — itself ramped
+//            round by round when RouterOptions::pressure_ramp is set
+//            (round r scales the weight by 1 + pressure_ramp * (r - 1)),
+//            so early rounds nudge while late rounds shove.
 //
 // The loop stops when cross-context conflicts (wire nodes shared between
 // contexts) stop strictly improving, or after cross_context_rounds
@@ -65,11 +68,14 @@ class ContextScheduler {
   /// powers the per-round STA scoring, `history` must already be
   /// prepare()d against this graph, and `context_criticality` (null =
   /// all contexts equally critical) orders the claim pass and scales the
-  /// pressure each context exports.
+  /// pressure each context exports.  `pool` (may be null = a round-local
+  /// pool) carries per-worker engines across rounds and calls; pooled
+  /// results are bit-identical to pool-free ones.
   RouteResult route(const std::vector<std::vector<RouteNet>>& nets_per_context,
                     const std::vector<timing::ContextTimingSpec>* timing,
                     RouteHistory* history,
-                    const std::vector<double>* context_criticality) const;
+                    const std::vector<double>* context_criticality,
+                    CorePool* pool = nullptr) const;
 
  private:
   const arch::RoutingGraph& graph_;

@@ -73,6 +73,27 @@ TEST(RouterOptionsValidation, RejectsBadCrossContextKnobs) {
   EXPECT_NO_THROW(o.validate());
 }
 
+TEST(RouterOptionsValidation, RejectsBadEngineAndPressureKnobs) {
+  route::RouterOptions o;
+  o.pressure_ramp = -0.1;  // pressure may only grow round over round
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.bucket_quantum = 0.0;  // calendar buckets need positive width
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.bucket_quantum = -0.25;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.bucket_span = 1;  // a one-bucket calendar cannot order anything
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.queue_mode = route::QueueMode::kBucket;
+  o.bucket_quantum = 0.125;
+  o.bucket_span = 64;
+  o.pressure_ramp = 0.5;
+  EXPECT_NO_THROW(o.validate());
+}
+
 TEST(RouterOptionsValidation, RouterConstructorValidates) {
   const arch::RoutingGraph graph(tiny_spec());
   route::RouterOptions o;
