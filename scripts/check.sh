@@ -24,3 +24,4 @@ echo "--- bench smoke runs ---"
 "$BUILD_DIR"/bench_placer --smoke
 "$BUILD_DIR"/bench_flow_end2end --smoke
 "$BUILD_DIR"/bench_routing_delay --smoke
+"$BUILD_DIR"/bench_incremental --smoke

@@ -1,0 +1,48 @@
+// Canonical content keys for the stage cache.
+//
+// Every compile artifact is addressed by a 64-bit digest of the inputs
+// that determine it: the multi-context DFG (structure, names, truth
+// tables), the fabric spec, and the compile options.  Per-stage keys are
+// chained — key(stage N) folds in key(stage N-1) and the stage name — so
+// an artifact's key transitively covers everything upstream of it and a
+// change anywhere invalidates exactly the suffix of the pipeline that
+// could observe it.
+//
+// Worker-count knobs (placer/router num_threads) are deliberately NOT
+// hashed: the placer and router contract is bit-identical results for any
+// thread count, so a design compiled with 8 workers is a legitimate cache
+// hit for the same design compiled with 1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/flow.hpp"
+
+namespace mcfpga::cache {
+
+/// Digest of one context's DFG: node types, names, fanin wiring, truth
+/// tables, and the designated outputs, in node order.
+std::uint64_t hash_dfg(const netlist::Dfg& dfg);
+
+/// Digest of the whole multi-context netlist (context count + per-context
+/// DFG digests, in context order).
+std::uint64_t hash_netlist(const netlist::MultiContextNetlist& netlist);
+
+/// Digest of every FabricSpec field that shapes the routing graph, the
+/// logic blocks, or the bitstream layout.
+std::uint64_t hash_fabric_spec(const arch::FabricSpec& spec);
+
+/// Digest of every CompileOptions field that can change a compile result.
+/// Excludes placer.num_threads and router.num_threads (see file comment).
+std::uint64_t hash_compile_options(const core::CompileOptions& options);
+
+/// Root of a flow's key chain: netlist x spec x options.
+std::uint64_t flow_base_key(const netlist::MultiContextNetlist& netlist,
+                            const arch::FabricSpec& spec,
+                            const core::CompileOptions& options);
+
+/// Advances the chain across one stage: combine(prev, H(stage name)).
+std::uint64_t stage_key(std::uint64_t prev, std::string_view stage_name);
+
+}  // namespace mcfpga::cache

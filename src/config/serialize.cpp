@@ -120,4 +120,190 @@ Bitstream from_text(const std::string& text) {
   return read_bitstream(is);
 }
 
+namespace {
+
+constexpr const char* kNetlistMagic = "mcfpga-netlist v1";
+
+[[noreturn]] void nfail(std::size_t line, const std::string& what) {
+  throw InvalidArgument("netlist line " + std::to_string(line) + ": " +
+                        what);
+}
+
+void check_name(const std::string& name) {
+  if (name.empty()) {
+    throw InvalidArgument("netlist serialization: empty name");
+  }
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      throw InvalidArgument("netlist serialization: name '" + name +
+                            "' contains whitespace");
+    }
+  }
+}
+
+/// Reads one non-empty line into an istringstream positioned past `key`.
+std::istringstream expect_line(std::istream& is, std::size_t& line_no,
+                               const char* key) {
+  std::string line;
+  ++line_no;
+  if (!std::getline(is, line)) {
+    nfail(line_no, std::string("missing '") + key + "' line");
+  }
+  std::istringstream ls(line);
+  std::string got;
+  if (!(ls >> got) || got != key) {
+    nfail(line_no, std::string("expected '") + key + "' line");
+  }
+  return ls;
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os,
+                   const netlist::MultiContextNetlist& netlist) {
+  os << kNetlistMagic << "\n";
+  os << "contexts " << netlist.num_contexts() << "\n";
+  for (std::size_t c = 0; c < netlist.num_contexts(); ++c) {
+    const netlist::Dfg& dfg = netlist.context(c);
+    os << "context " << c << "\n";
+    os << "nodes " << dfg.num_nodes() << "\n";
+    for (std::size_t i = 0; i < dfg.num_nodes(); ++i) {
+      const netlist::DfgNode& node =
+          dfg.node(static_cast<netlist::NodeRef>(i));
+      check_name(node.name);
+      if (node.type == netlist::NodeType::kPrimaryInput) {
+        os << "in " << node.name << "\n";
+      } else {
+        os << "lut " << node.name << ' ' << node.fanins.size();
+        for (const netlist::NodeRef f : node.fanins) {
+          os << ' ' << f;
+        }
+        os << ' ' << node.truth_table.to_string() << "\n";
+      }
+    }
+    os << "outputs " << dfg.outputs().size() << "\n";
+    for (const netlist::DfgOutput& out : dfg.outputs()) {
+      check_name(out.name);
+      os << "out " << out.node << ' ' << out.name << "\n";
+    }
+  }
+}
+
+std::string netlist_to_text(const netlist::MultiContextNetlist& netlist) {
+  std::ostringstream os;
+  write_netlist(os, netlist);
+  return os.str();
+}
+
+netlist::MultiContextNetlist read_netlist(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(is, line) || line != kNetlistMagic) {
+    nfail(line_no, "expected header '" + std::string(kNetlistMagic) + "'");
+  }
+
+  std::size_t num_contexts = 0;
+  {
+    std::istringstream ls = expect_line(is, line_no, "contexts");
+    if (!(ls >> num_contexts) || num_contexts == 0) {
+      nfail(line_no, "malformed 'contexts' line");
+    }
+  }
+
+  netlist::MultiContextNetlist result(num_contexts);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    {
+      std::istringstream ls = expect_line(is, line_no, "context");
+      std::size_t got = 0;
+      if (!(ls >> got) || got != c) {
+        nfail(line_no, "expected 'context " + std::to_string(c) + "'");
+      }
+    }
+    std::size_t num_nodes = 0;
+    {
+      std::istringstream ls = expect_line(is, line_no, "nodes");
+      if (!(ls >> num_nodes)) {
+        nfail(line_no, "malformed 'nodes' line");
+      }
+    }
+    netlist::Dfg& dfg = result.context(c);
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      ++line_no;
+      if (!std::getline(is, line)) {
+        nfail(line_no, "expected " + std::to_string(num_nodes) + " nodes");
+      }
+      std::istringstream ls(line);
+      std::string kind;
+      std::string name;
+      if (!(ls >> kind >> name)) {
+        nfail(line_no, "malformed node line");
+      }
+      if (kind == "in") {
+        dfg.add_input(std::move(name));
+        continue;
+      }
+      if (kind != "lut") {
+        nfail(line_no, "unknown node kind '" + kind + "'");
+      }
+      std::size_t arity = 0;
+      if (!(ls >> arity)) {
+        nfail(line_no, "malformed lut arity");
+      }
+      std::vector<netlist::NodeRef> fanins(arity);
+      for (std::size_t k = 0; k < arity; ++k) {
+        if (!(ls >> fanins[k]) || fanins[k] < 0 ||
+            static_cast<std::size_t>(fanins[k]) >= i) {
+          nfail(line_no, "lut fanin out of range");
+        }
+      }
+      std::string bits;
+      if (!(ls >> bits) || bits.size() != (std::size_t{1} << arity)) {
+        nfail(line_no, "truth table must have 2^arity bits");
+      }
+      for (const char b : bits) {
+        if (b != '0' && b != '1') {
+          nfail(line_no, "truth table must be over {0,1}");
+        }
+      }
+      try {
+        dfg.add_lut(std::move(name), std::move(fanins),
+                    BitVector::from_string(bits));
+      } catch (const InvalidArgument& e) {
+        nfail(line_no, e.what());
+      }
+    }
+    std::size_t num_outputs = 0;
+    {
+      std::istringstream ls = expect_line(is, line_no, "outputs");
+      if (!(ls >> num_outputs)) {
+        nfail(line_no, "malformed 'outputs' line");
+      }
+    }
+    for (std::size_t i = 0; i < num_outputs; ++i) {
+      ++line_no;
+      if (!std::getline(is, line)) {
+        nfail(line_no,
+              "expected " + std::to_string(num_outputs) + " outputs");
+      }
+      std::istringstream ls(line);
+      std::string key;
+      netlist::NodeRef node = netlist::kNoNode;
+      std::string name;
+      if (!(ls >> key >> node >> name) || key != "out") {
+        nfail(line_no, "malformed 'out' line");
+      }
+      if (node < 0 || static_cast<std::size_t>(node) >= num_nodes) {
+        nfail(line_no, "output node out of range");
+      }
+      dfg.mark_output(node, std::move(name));
+    }
+  }
+  return result;
+}
+
+netlist::MultiContextNetlist netlist_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_netlist(is);
+}
+
 }  // namespace mcfpga::config

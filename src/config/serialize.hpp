@@ -1,7 +1,9 @@
-// Textual bitstream serialization.
+// Textual bitstream and netlist serialization.
 //
-// A stable, diffable, line-oriented format so bitstreams can be archived,
-// compared across tool versions, and fed to external analysis:
+// Stable, diffable, line-oriented formats so designs can be archived,
+// compared across tool versions, and fed to external analysis.
+//
+// Bitstream (v1):
 //
 //   mcfpga-bitstream v1
 //   contexts 4
@@ -12,12 +14,33 @@
 //
 // Patterns are written MSB-first (C_{n-1}..C_0), matching the paper's
 // figures and ContextPattern::to_string().
+//
+// Multi-context netlist (v1) — node lines in DFG index order, so the text
+// is canonical: two netlists round-trip to identical text iff their node
+// arrays, truth tables, and output lists match positionally (the same
+// positional identity cache::diff_netlists and the content hashes use):
+//
+//   mcfpga-netlist v1
+//   contexts 2
+//   context 0
+//   nodes 3
+//   in a
+//   in b
+//   lut xor 2 0 1 0110
+//   outputs 1
+//   out 2 y
+//   context 1
+//   ...
+//
+// Truth tables are MSB-first BitVector strings (address 2^k-1 first);
+// names must be non-empty and whitespace-free (write_netlist enforces it).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "config/bitstream.hpp"
+#include "netlist/dfg.hpp"
 
 namespace mcfpga::config {
 
@@ -29,5 +52,16 @@ std::string to_text(const Bitstream& bitstream);
 /// any malformed input.
 Bitstream read_bitstream(std::istream& is);
 Bitstream from_text(const std::string& text);
+
+/// Writes the canonical v1 netlist text; throws InvalidArgument on names
+/// the line format cannot carry (empty or containing whitespace).
+void write_netlist(std::ostream& os,
+                   const netlist::MultiContextNetlist& netlist);
+std::string netlist_to_text(const netlist::MultiContextNetlist& netlist);
+
+/// Parses the v1 netlist text; throws InvalidArgument with a line number
+/// on any malformed input.
+netlist::MultiContextNetlist read_netlist(std::istream& is);
+netlist::MultiContextNetlist netlist_from_text(const std::string& text);
 
 }  // namespace mcfpga::config

@@ -106,6 +106,32 @@ struct ContextStats {
   std::size_t heap_pops = 0;
   std::size_t stale_pops = 0;
   std::size_t nodes_expanded = 0;
+  /// Delta-recompile accounting (cache::CompileService::compile_incremental;
+  /// both stay 0 on cold/full compiles): nets of this context whose routed
+  /// tree was invalidated by the edit, and nets actually re-routed.  They
+  /// differ only when the router reroutes a net it could have kept.
+  std::size_t nets_invalidated = 0;
+  std::size_t nets_rerouted = 0;
+};
+
+/// Stage-cache and delta-recompile accounting of the compile that produced
+/// a design.  All-zero (the default) for plain uncached compile() calls;
+/// cache::CompileService fills it from its ArtifactCache counters and, on
+/// the delta path, from the edit diff.
+struct CacheStats {
+  std::size_t hits = 0;       ///< Stage artifacts served from cache.
+  std::size_t misses = 0;     ///< Stage lookups that ran the stage.
+  std::size_t evictions = 0;  ///< LRU evictions so far (cache lifetime).
+  std::size_t interned_patterns = 0;   ///< Distinct live ContextPatterns.
+  std::size_t pattern_dedup_hits = 0;  ///< Pattern stores folded into one.
+  /// Delta path only (compile_incremental that did not fall back):
+  bool delta = false;                  ///< Design came from the delta path.
+  std::size_t nets_invalidated = 0;    ///< Summed over contexts.
+  std::size_t nets_rerouted = 0;       ///< Summed over contexts.
+  std::size_t anneal_moves_saved = 0;  ///< Cold-anneal moves skipped.
+  /// Why a compile_incremental call fell back to the full pipeline
+  /// (empty = no fallback).
+  std::string delta_fallback;
 };
 
 /// Wall-clock of one pipeline stage (filled by run_pipeline).  Names
@@ -159,6 +185,10 @@ struct CompiledDesign {
 
   /// Per-stage wall-clock of the pipeline that produced this design.
   std::vector<StageTiming> stage_timings;
+
+  /// Stage-cache / delta-recompile accounting (all-zero when the design
+  /// was compiled without a cache).
+  CacheStats cache;
 
   /// Primary I/O name -> placement terminal index.
   std::map<std::string, std::size_t> input_terminals;

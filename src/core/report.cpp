@@ -68,6 +68,27 @@ void print_design_report(std::ostream& os, const CompiledDesign& design) {
     cl.print(os);
   }
 
+  const CacheStats& cs = design.cache;
+  if (cs.hits + cs.misses + cs.evictions != 0 || cs.delta ||
+      !cs.delta_fallback.empty()) {
+    Table cache({"stage cache", "value"});
+    cache.add_row({"stage hits", fmt_count(cs.hits)});
+    cache.add_row({"stage misses", fmt_count(cs.misses)});
+    cache.add_row({"evictions", fmt_count(cs.evictions)});
+    cache.add_row({"interned patterns", fmt_count(cs.interned_patterns)});
+    cache.add_row({"pattern dedup hits", fmt_count(cs.pattern_dedup_hits)});
+    if (cs.delta) {
+      cache.add_row({"delta recompile", "yes"});
+      cache.add_row({"nets invalidated", fmt_count(cs.nets_invalidated)});
+      cache.add_row({"nets re-routed", fmt_count(cs.nets_rerouted)});
+      cache.add_row({"anneal moves saved", fmt_count(cs.anneal_moves_saved)});
+    }
+    if (!cs.delta_fallback.empty()) {
+      cache.add_row({"delta fallback", cs.delta_fallback});
+    }
+    cache.print(os);
+  }
+
   const config::BitstreamStats stats =
       config::compute_stats(design.full_bitstream);
   config::print_stats(os, stats, "fabric bitstream statistics");

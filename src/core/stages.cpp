@@ -273,7 +273,7 @@ std::uint64_t resolved_placer_seed(const CompileOptions& options) {
              : options.placer.seed;
 }
 
-void PlaceStage::run(FlowContext& ctx) const {
+void size_fabric_and_build_graph(FlowContext& ctx) {
   if (ctx.options.auto_size) {
     while (ctx.spec.num_cells() < ctx.clusters.size() ||
            pads_available(ctx.spec) < ctx.num_terminals) {
@@ -295,6 +295,36 @@ void PlaceStage::run(FlowContext& ctx) const {
   if (ctx.graph->num_pads() < ctx.num_terminals) {
     throw FlowError("fabric has too few I/O pads");
   }
+}
+
+std::map<std::size_t, double> logic_depth_class_criticality(FlowContext& ctx) {
+  // Cache the structure for RouteStage — it depends only on the
+  // clustering, not on any placement.
+  ctx.flow_timing = std::make_shared<FlowTiming>(build_flow_timing(ctx));
+  const FlowTiming& ft = *ctx.flow_timing;
+  std::map<std::size_t, double> class_criticality;
+  for (std::size_t c = 0; c < ctx.spec.num_contexts; ++c) {
+    const timing::ConnectionArcs arcs(ft.specs[c]);
+    timing::TimingGraph sta(ft.specs[c].num_nodes, arcs.arcs());
+    sta.analyze();
+    for (std::size_t i = 0; i < ft.specs[c].nets.size(); ++i) {
+      double crit = 0.0;
+      for (std::size_t j = 0; j < ft.specs[c].nets[i].sinks.size(); ++j) {
+        crit = std::max(
+            crit, arcs.connection_criticality(sta, arcs.connection(i, j)));
+      }
+      auto [it, inserted] =
+          class_criticality.emplace(ft.net_class[c][i], crit);
+      if (!inserted) {
+        it->second = std::max(it->second, crit);
+      }
+    }
+  }
+  return class_criticality;
+}
+
+void PlaceStage::run(FlowContext& ctx) const {
+  size_fabric_and_build_graph(ctx);
 
   PlacementBuild build = build_placement_problem(ctx);
   place::PlacementProblem& prob = build.problem;
@@ -303,29 +333,7 @@ void PlaceStage::run(FlowContext& ctx) const {
   // criticality over a class's connections and contexts bumps its
   // placement net, pulling deep paths tight before the router sees them.
   if (ctx.options.placer.timing_mode) {
-    // Cache the structure for RouteStage — it depends only on the
-    // clustering, not on the placement this stage is about to produce.
-    ctx.flow_timing = std::make_shared<FlowTiming>(build_flow_timing(ctx));
-    const FlowTiming& ft = *ctx.flow_timing;
-    std::map<std::size_t, double> class_criticality;
-    for (std::size_t c = 0; c < ctx.spec.num_contexts; ++c) {
-      const timing::ConnectionArcs arcs(ft.specs[c]);
-      timing::TimingGraph sta(ft.specs[c].num_nodes, arcs.arcs());
-      sta.analyze();
-      for (std::size_t i = 0; i < ft.specs[c].nets.size(); ++i) {
-        double crit = 0.0;
-        for (std::size_t j = 0; j < ft.specs[c].nets[i].sinks.size(); ++j) {
-          crit = std::max(crit, arcs.connection_criticality(
-                                    sta, arcs.connection(i, j)));
-        }
-        auto [it, inserted] =
-            class_criticality.emplace(ft.net_class[c][i], crit);
-        if (!inserted) {
-          it->second = std::max(it->second, crit);
-        }
-      }
-    }
-    apply_class_criticality(build, class_criticality);
+    apply_class_criticality(build, logic_depth_class_criticality(ctx));
   }
   place::PlacerOptions placer_options = ctx.options.placer;
   // Default the placer seed from the flow seed only when the caller left it
@@ -600,7 +608,16 @@ void run_pipeline(FlowContext& ctx,
   using clock = std::chrono::steady_clock;
   for (const Stage* stage : stages) {
     const auto start = clock::now();
-    stage->run(ctx);
+    // The cache hook may satisfy the whole stage from stored artifacts;
+    // only a miss runs the stage and publishes what it computed.
+    const bool hit =
+        ctx.cache != nullptr && ctx.cache->before_stage(stage->name(), ctx);
+    if (!hit) {
+      stage->run(ctx);
+      if (ctx.cache != nullptr) {
+        ctx.cache->after_stage(stage->name(), ctx);
+      }
+    }
     const std::chrono::duration<double> elapsed = clock::now() - start;
     ctx.stage_timings.push_back(StageTiming{stage->name(), elapsed.count()});
   }

@@ -64,6 +64,24 @@ struct PlacementBuild {
   std::vector<std::size_t> net_class;
 };
 
+struct FlowContext;
+
+/// Content-addressed stage-cache hook (implemented by cache::FlowCache).
+/// run_pipeline() consults it around every stage: before_stage() may
+/// satisfy the stage from cached artifacts (returning true skips the
+/// stage), and after_stage() lets a freshly computed artifact be
+/// published.  core/ defines only the seam; the cache itself lives in
+/// src/cache/ and depends on core/, not the other way around.
+class StageCacheHook {
+ public:
+  virtual ~StageCacheHook() = default;
+  /// Advances the context's key chain across `stage` and, on a hit,
+  /// restores the stage's outputs into `ctx`.  True = stage satisfied.
+  virtual bool before_stage(const char* stage, FlowContext& ctx) = 0;
+  /// Publishes the outputs `stage` just computed (called only on a miss).
+  virtual void after_stage(const char* stage, FlowContext& ctx) = 0;
+};
+
 /// Carries all intermediate artifacts of one compilation.
 struct FlowContext {
   // --- inputs -------------------------------------------------------------
@@ -143,6 +161,14 @@ struct FlowContext {
 
   // --- bookkeeping --------------------------------------------------------
   std::vector<StageTiming> stage_timings;
+
+  // --- stage cache (src/cache/) -------------------------------------------
+  /// Not owned; null = uncached compile (the default for compile()).
+  StageCacheHook* cache = nullptr;
+  /// Rolling per-stage content key (cache/key.hpp chain), maintained by
+  /// the hook; meaningless while cache_key_valid is false.
+  std::uint64_t cache_key = 0;
+  bool cache_key_valid = false;
 };
 
 /// One pipeline stage.  Stages are stateless; all state lives in the
@@ -212,6 +238,21 @@ PlacementBuild build_placement_problem(const FlowContext& ctx);
 /// closure loop (post-route STA).
 void apply_class_criticality(PlacementBuild& build,
                              const std::map<std::size_t, double>& by_class);
+
+/// PlaceStage's fabric-sizing step, exposed for cache-hit replay and the
+/// delta-recompile driver: auto-grows ctx.spec (square-ish) until clusters
+/// and I/O terminals fit (options.auto_size), validates capacity (throws
+/// FlowError otherwise), and (re)builds ctx.graph — which is deterministic
+/// in the grown spec, so a cached placement plus this call reproduces
+/// PlaceStage's physical world exactly.
+void size_fabric_and_build_graph(FlowContext& ctx);
+
+/// The pre-route timing prior PlaceStage folds into net weights in placer
+/// timing mode: per driver class, the worst unit-switch (logic depth) STA
+/// criticality over its connections and contexts.  Fills ctx.flow_timing
+/// as a side effect (it is placement-independent and RouteStage consumes
+/// it).  Requires ClusterStage outputs.
+std::map<std::size_t, double> logic_depth_class_criticality(FlowContext& ctx);
 
 /// The annealing seed the flow hands the placer: options.placer.seed,
 /// with the kSeedFromFlow sentinel resolved to the flow seed.  Shared by

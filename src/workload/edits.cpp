@@ -1,0 +1,101 @@
+#include "workload/edits.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcfpga::workload {
+
+namespace {
+
+using netlist::Dfg;
+using netlist::DfgNode;
+using netlist::DfgOutput;
+using netlist::MultiContextNetlist;
+using netlist::NodeRef;
+using netlist::NodeType;
+
+/// Rebuilds `src` through the public Dfg API (indices are preserved by
+/// construction), with node `target` replaced by `replacement`.
+template <typename Transform>
+Dfg rebuild_with(const Dfg& src, std::size_t target,
+                 const Transform& transform) {
+  Dfg out;
+  for (std::size_t i = 0; i < src.num_nodes(); ++i) {
+    DfgNode node = src.node(static_cast<NodeRef>(i));
+    if (i == target) {
+      transform(node);
+    }
+    if (node.type == NodeType::kPrimaryInput) {
+      out.add_input(std::move(node.name));
+    } else {
+      out.add_lut(std::move(node.name), std::move(node.fanins),
+                  std::move(node.truth_table));
+    }
+  }
+  for (const DfgOutput& o : src.outputs()) {
+    out.mark_output(o.node, o.name);
+  }
+  return out;
+}
+
+bool is_lut_at(const Dfg& dfg, std::size_t node) {
+  return node < dfg.num_nodes() &&
+         dfg.node(static_cast<NodeRef>(node)).type == NodeType::kLutOp;
+}
+
+}  // namespace
+
+MultiContextNetlist retable_edit(const MultiContextNetlist& base,
+                                 std::size_t node, std::uint64_t seed) {
+  MultiContextNetlist edited = base;
+  // One table drawn up front, shared by every touched context, so the
+  // edit keeps cross-context sharing intact.
+  for (std::size_t c = 0; c < base.num_contexts(); ++c) {
+    if (!is_lut_at(base.context(c), node)) {
+      continue;
+    }
+    const DfgNode& original =
+        base.context(c).node(static_cast<NodeRef>(node));
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + node + 1);
+    BitVector table = original.truth_table;
+    do {
+      for (std::size_t b = 0; b < table.size(); ++b) {
+        table.set(b, rng.next_bool());
+      }
+    } while (table == original.truth_table);
+    edited.context(c) = rebuild_with(
+        base.context(c), node,
+        [&table](DfgNode& n) { n.truth_table = table; });
+  }
+  return edited;
+}
+
+MultiContextNetlist rewire_edit(const MultiContextNetlist& base,
+                                std::size_t node, std::uint64_t seed) {
+  MultiContextNetlist edited = base;
+  for (std::size_t c = 0; c < base.num_contexts(); ++c) {
+    const Dfg& dfg = base.context(c);
+    if (!is_lut_at(dfg, node) || node < 2) {
+      continue;
+    }
+    const DfgNode& original = dfg.node(static_cast<NodeRef>(node));
+    if (original.fanins.empty()) {
+      continue;
+    }
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + node + 1);
+    const std::size_t slot = rng.next_below(original.fanins.size());
+    // Pick a strictly earlier node different from the current fanin;
+    // node >= 2 guarantees a candidate exists.
+    NodeRef target = original.fanins[slot];
+    while (target == original.fanins[slot]) {
+      target = static_cast<NodeRef>(rng.next_below(node));
+    }
+    edited.context(c) = rebuild_with(
+        dfg, node, [slot, target](DfgNode& n) { n.fanins[slot] = target; });
+  }
+  return edited;
+}
+
+}  // namespace mcfpga::workload

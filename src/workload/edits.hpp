@@ -1,0 +1,42 @@
+// Deterministic small edits over multi-context netlists — the workload
+// behind the incremental-recompile bench and tests (cache/incremental.hpp).
+//
+// Both editors apply the same transformation to the same node index in
+// EVERY context where it is applicable (the node exists and is a LUT op of
+// the required shape), mirroring how a designer's edit to shared logic
+// lands in each context that instantiates it.  Node indices and names are
+// preserved, so cache::diff_netlists sees exactly the edited nodes.
+//
+//   * retable_edit — rewrites the node's truth table (function change on
+//     fixed structure).  Placement-neutral AND routing-neutral: the
+//     clustered connectivity is unchanged, so a delta recompile keeps the
+//     entire previous physical design and only reprograms LUT planes.
+//   * rewire_edit — retargets one fanin to a different earlier node
+//     (structure change).  Invalidates the edited node's input nets, so a
+//     delta recompile exercises the rip-up/re-route path.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/dfg.hpp"
+
+namespace mcfpga::workload {
+
+/// Replaces node `node`'s truth table with a seed-derived one guaranteed
+/// to differ from the original, identically in every context where `node`
+/// is a LUT op.  Returns the edited netlist (contexts without the node
+/// are copied unchanged).
+netlist::MultiContextNetlist retable_edit(
+    const netlist::MultiContextNetlist& base, std::size_t node,
+    std::uint64_t seed);
+
+/// Retargets one seed-chosen fanin of node `node` to a different
+/// seed-chosen earlier node, identically in every context where `node` is
+/// a LUT op with at least one fanin and at least two candidate sources
+/// precede it.  Acyclicity is preserved by construction (fanins only move
+/// to strictly earlier indices).
+netlist::MultiContextNetlist rewire_edit(
+    const netlist::MultiContextNetlist& base, std::size_t node,
+    std::uint64_t seed);
+
+}  // namespace mcfpga::workload

@@ -1,4 +1,5 @@
-// Unit tests for the common substrate: BitVector, Rng, strings, Table.
+// Unit tests for the common substrate: BitVector, Rng, strings, Table,
+// and the stable FNV-1a/64 content hashing behind the stage cache.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -6,6 +7,7 @@
 
 #include "common/bitvector.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -219,6 +221,74 @@ TEST(Table, RendersAlignedGrid) {
 TEST(Table, RejectsArityMismatch) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+// --- content hashing (common/hash.hpp) --------------------------------------
+// Fixed known-answer vectors: these digests are the published FNV-1a/64
+// values, so any drift (endianness, prime, basis, byte order) fails here
+// before it silently invalidates every cache key.
+
+TEST(Hash, Fnv1aKnownAnswerVectors) {
+  EXPECT_EQ(common::fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(common::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(common::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, Fnv1aIsConstexpr) {
+  static_assert(common::fnv1a("") == common::kFnvOffsetBasis);
+  static_assert(common::fnv1a("a") == 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Hash, CombineMatchesByteStream) {
+  // hash_combine must equal absorbing the value's 8 little-endian bytes.
+  const std::uint64_t value = 0x0123456789abcdefull;
+  std::uint64_t expected = common::kFnvOffsetBasis;
+  for (int i = 0; i < 8; ++i) {
+    expected = common::fnv1a_byte(
+        expected, static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  EXPECT_EQ(common::hash_combine(common::kFnvOffsetBasis, value), expected);
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  const std::uint64_t ab =
+      common::hash_combine(common::hash_combine(common::kFnvOffsetBasis, 1), 2);
+  const std::uint64_t ba =
+      common::hash_combine(common::hash_combine(common::kFnvOffsetBasis, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Hasher, ChainedFeedersAreDeterministic) {
+  const auto digest = [] {
+    return common::Hasher()
+        .u64(42)
+        .size(7)
+        .i64(-3)
+        .boolean(true)
+        .f64(2.5)
+        .str("net")
+        .bits(BitVector::from_string("0110"))
+        .digest();
+  };
+  EXPECT_EQ(digest(), digest());
+}
+
+TEST(Hasher, LengthPrefixPreventsAliasing) {
+  // "ab" + "c" must not collide with "a" + "bc".
+  const std::uint64_t h1 =
+      common::Hasher().str("ab").str("c").digest();
+  const std::uint64_t h2 =
+      common::Hasher().str("a").str("bc").digest();
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Hasher, DistinguishesValueTypes) {
+  EXPECT_NE(common::Hasher().boolean(true).digest(),
+            common::Hasher().u64(1).digest());
+  EXPECT_NE(common::Hasher().f64(-0.0).digest(),
+            common::Hasher().f64(0.0).digest());
+  EXPECT_NE(common::Hasher().bits(BitVector::from_string("00")).digest(),
+            common::Hasher().bits(BitVector::from_string("000")).digest());
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
-// Unit tests for bitstream text serialization: round trips, format
-// stability, and malformed-input rejection with line numbers.
+// Unit tests for bitstream and netlist text serialization: round trips,
+// format stability, and malformed-input rejection with line numbers.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -8,6 +8,8 @@
 #include "config/serialize.hpp"
 #include "config/stats.hpp"
 #include "workload/bitstream_gen.hpp"
+#include "workload/circuits.hpp"
+#include "workload/random_dfg.hpp"
 
 namespace mcfpga::config {
 namespace {
@@ -108,6 +110,115 @@ TEST(Serialize, ErrorsCarryLineNumbers) {
     FAIL() << "expected InvalidArgument";
   } catch (const InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- netlist round trip -----------------------------------------------------
+
+void expect_same_netlist(const netlist::MultiContextNetlist& a,
+                         const netlist::MultiContextNetlist& b) {
+  ASSERT_EQ(a.num_contexts(), b.num_contexts());
+  for (std::size_t c = 0; c < a.num_contexts(); ++c) {
+    const netlist::Dfg& da = a.context(c);
+    const netlist::Dfg& db = b.context(c);
+    ASSERT_EQ(da.num_nodes(), db.num_nodes()) << "context " << c;
+    for (std::size_t i = 0; i < da.num_nodes(); ++i) {
+      const auto& na = da.node(static_cast<netlist::NodeRef>(i));
+      const auto& nb = db.node(static_cast<netlist::NodeRef>(i));
+      EXPECT_EQ(na.type, nb.type);
+      EXPECT_EQ(na.name, nb.name);
+      EXPECT_EQ(na.fanins, nb.fanins);
+      EXPECT_EQ(na.truth_table, nb.truth_table);
+    }
+    ASSERT_EQ(da.outputs().size(), db.outputs().size());
+    for (std::size_t i = 0; i < da.outputs().size(); ++i) {
+      EXPECT_EQ(da.outputs()[i].node, db.outputs()[i].node);
+      EXPECT_EQ(da.outputs()[i].name, db.outputs()[i].name);
+    }
+  }
+}
+
+TEST(NetlistSerialize, RoundTripsHandWrittenExample) {
+  netlist::MultiContextNetlist nl(2);
+  const auto a = nl.context(0).add_input("a");
+  const auto b = nl.context(0).add_input("b");
+  const auto x = nl.context(0).add_lut("xor", {a, b},
+                                       BitVector::from_string("0110"));
+  nl.context(0).mark_output(x, "y");
+  const auto p = nl.context(1).add_input("a");
+  const auto q = nl.context(1).add_lut("inv", {p},
+                                       BitVector::from_string("01"));
+  nl.context(1).mark_output(q, "y");
+
+  expect_same_netlist(nl, netlist_from_text(netlist_to_text(nl)));
+}
+
+TEST(NetlistSerialize, FormatIsCanonical) {
+  netlist::MultiContextNetlist nl(1);
+  const auto a = nl.context(0).add_input("a");
+  const auto b = nl.context(0).add_input("b");
+  const auto x = nl.context(0).add_lut("and", {a, b},
+                                       BitVector::from_string("1000"));
+  nl.context(0).mark_output(x, "y");
+  EXPECT_EQ(netlist_to_text(nl),
+            "mcfpga-netlist v1\n"
+            "contexts 1\n"
+            "context 0\n"
+            "nodes 3\n"
+            "in a\n"
+            "in b\n"
+            "lut and 2 0 1 1000\n"
+            "outputs 1\n"
+            "out 2 y\n");
+}
+
+TEST(NetlistSerialize, RoundTripsStructuredAndRandomWorkloads) {
+  expect_same_netlist(
+      workload::pipeline_workload(4, 8),
+      netlist_from_text(netlist_to_text(workload::pipeline_workload(4, 8))));
+
+  workload::RandomMultiContextParams params;
+  params.base.seed = 77;
+  params.num_contexts = 3;
+  const auto random = workload::random_multi_context(params);
+  expect_same_netlist(random, netlist_from_text(netlist_to_text(random)));
+  // Canonical: identical netlists produce identical text.
+  EXPECT_EQ(netlist_to_text(random), netlist_to_text(random));
+}
+
+TEST(NetlistSerialize, RejectsMalformedInput) {
+  EXPECT_THROW(netlist_from_text("mcfpga-bitstream v1\n"), InvalidArgument);
+  // Fanin referencing itself / a later node.
+  EXPECT_THROW(
+      netlist_from_text("mcfpga-netlist v1\ncontexts 1\ncontext 0\n"
+                        "nodes 1\nlut f 1 0 01\noutputs 0\n"),
+      InvalidArgument);
+  // Truth table width != 2^arity.
+  EXPECT_THROW(
+      netlist_from_text("mcfpga-netlist v1\ncontexts 1\ncontext 0\n"
+                        "nodes 2\nin a\nlut f 1 0 0110\noutputs 0\n"),
+      InvalidArgument);
+  // Output out of range.
+  EXPECT_THROW(
+      netlist_from_text("mcfpga-netlist v1\ncontexts 1\ncontext 0\n"
+                        "nodes 1\nin a\noutputs 1\nout 5 y\n"),
+      InvalidArgument);
+}
+
+TEST(NetlistSerialize, WriteRejectsUnserializableNames) {
+  netlist::MultiContextNetlist nl(1);
+  nl.context(0).add_input("has space");
+  EXPECT_THROW(netlist_to_text(nl), InvalidArgument);
+}
+
+TEST(NetlistSerialize, ErrorsCarryLineNumbers) {
+  try {
+    netlist_from_text("mcfpga-netlist v1\ncontexts 1\ncontext 0\n"
+                      "nodes 1\nbogus x\noutputs 0\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
         << e.what();
   }
 }
