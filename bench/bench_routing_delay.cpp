@@ -10,7 +10,11 @@
 // monotone bucket queue, on a congested random multi-context workload —
 // wall clock, queue-traffic counters, and a QoR gate (bucket must never
 // be worse on worst critical switches, then wirelength; non-smoke runs
-// additionally gate the >= 1.5x maze-expansion speedup).
+// additionally gate the >= 1.5x maze-expansion speedup), and the two
+// cross-context negotiation schedulers (whole-context rounds vs the
+// net-interleaved merged queue) on the same workload — total maze
+// traffic summed over every round/wave, with a >= 1.3x expansion
+// reduction gate at equal-or-better conflicts and critical switches.
 //
 // Pass --smoke for a reduced CI-sized run.  Every measurement also emits
 // one BENCH_JSON machine-readable line (see bench_json.hpp).
@@ -381,6 +385,130 @@ int main(int argc, char** argv) {
                      "\"wirelength\":" + std::to_string(fwl_buk));
     if (cp_buk > cp_bin || (cp_buk == cp_bin && fwl_buk > fwl_bin)) {
       std::cout << "FAIL: bucket queue worse on timing-driven flow QoR\n";
+      return 1;
+    }
+  }
+
+  // --- Cross-context negotiation: round-based vs net-interleaved -----------
+  // Identical congested multi-context workload, identical options except
+  // cross_context_mode.  The honest cost of a negotiation is the maze
+  // traffic of EVERY round/wave it ran, not just the kept one, so both
+  // sides sum NegotiationRoundStats over all entries.  The gate enforces
+  // the interleaved scheduler's contract: same or fewer cross-context
+  // conflicts, same or better worst critical switches, and — outside
+  // --smoke — at least 1.3x fewer total maze expansions than the
+  // round-based negotiator spends on the same problem.
+  {
+    using clock = std::chrono::steady_clock;
+    arch::FabricSpec spec;
+    spec.width = smoke ? 10 : 20;
+    spec.height = spec.width;
+    spec.channel_width = 8;
+    spec.double_length_tracks = 4;
+    const arch::RoutingGraph g(spec);
+    const std::size_t nets_per_context = smoke ? 60 : 200;
+    const auto nets = random_route_problem(g, 4, nets_per_context, 1234);
+
+    struct NegotiationRun {
+      double ms = 0.0;
+      std::size_t expansions = 0;  // summed over every round/wave
+      std::size_t pushes = 0;
+      route::RouteResult result;
+    };
+    const auto run_mode = [&](route::CrossContextMode mode) {
+      route::RouterOptions opts;
+      opts.num_threads = 1;
+      opts.cross_context_mode = mode;
+      const route::Router router(g, opts);
+      NegotiationRun run;
+      const clock::time_point start = clock::now();
+      run.result = router.route(nets);
+      run.ms =
+          std::chrono::duration<double>(clock::now() - start).count() * 1e3;
+      for (const auto& s : run.result.negotiation_stats) {
+        run.expansions += s.nodes_expanded;
+        run.pushes += s.heap_pushes;
+      }
+      return run;
+    };
+
+    const NegotiationRun rounds = run_mode(route::CrossContextMode::kNegotiated);
+    const NegotiationRun inter = run_mode(route::CrossContextMode::kInterleaved);
+
+    Table nt({"scheduler", "route (ms)", "rounds/waves", "total expansions",
+              "total pushes", "conflicts", "worst switches"});
+    for (const auto* r : {&rounds, &inter}) {
+      const bool is_inter = r == &inter;
+      nt.add_row({is_inter ? "net-interleaved queue" : "whole-context rounds",
+                  fmt_double(r->ms, 2),
+                  std::to_string(r->result.negotiation_stats.size()),
+                  fmt_count(r->expansions), fmt_count(r->pushes),
+                  std::to_string(total_of(
+                      r->result,
+                      &route::ContextRouteSummary::cross_context_conflicts)),
+                  std::to_string(worst_switches(r->result))});
+      bench::json_line(
+          is_inter ? "routing_negotiation_interleaved"
+                   : "routing_negotiation_rounds",
+          4 * nets_per_context, r->ms, static_cast<double>(r->expansions),
+          "\"heap_pushes\":" + std::to_string(r->pushes) +
+              ",\"entries\":" +
+              std::to_string(r->result.negotiation_stats.size()) +
+              ",\"conflicts\":" +
+              std::to_string(total_of(
+                  r->result,
+                  &route::ContextRouteSummary::cross_context_conflicts)) +
+              ",\"worst_switches\":" +
+              std::to_string(worst_switches(r->result)));
+    }
+    // Per-wave trace of the interleaved run: how fast the dirty set drains.
+    for (const auto& s : inter.result.negotiation_stats) {
+      bench::json_line(
+          "routing_negotiation_wave", s.round, s.seconds * 1e3,
+          static_cast<double>(s.nodes_expanded),
+          "\"rerouted\":" + std::to_string(s.nets_rerouted) +
+              ",\"requeued\":" + std::to_string(s.nets_requeued) +
+              ",\"conflicts\":" + std::to_string(s.conflicts) +
+              ",\"kept\":" + (s.kept ? std::string("true")
+                                     : std::string("false")));
+    }
+    std::cout << "\ncross-context negotiation comparison (serial, congested "
+                 "random workload):\n";
+    nt.print(std::cout);
+    const double reduction =
+        inter.expansions > 0
+            ? static_cast<double>(rounds.expansions) /
+                  static_cast<double>(inter.expansions)
+            : 0.0;
+    std::cout << "maze-expansion reduction (rounds / interleaved): "
+              << fmt_double(reduction, 2) << "x\n";
+    bench::json_line("routing_negotiation_reduction", 4 * nets_per_context,
+                     0.0, reduction);
+
+    if (!rounds.result.success || !inter.result.success) {
+      std::cout << "FAIL: negotiation comparison workload did not converge\n";
+      return 1;
+    }
+    const std::size_t cf_rounds = total_of(
+        rounds.result, &route::ContextRouteSummary::cross_context_conflicts);
+    const std::size_t cf_inter = total_of(
+        inter.result, &route::ContextRouteSummary::cross_context_conflicts);
+    const std::size_t ws_rounds = worst_switches(rounds.result);
+    const std::size_t ws_inter = worst_switches(inter.result);
+    if (cf_inter > cf_rounds) {
+      std::cout << "FAIL: interleaved scheduler left more conflicts ("
+                << cf_inter << " vs " << cf_rounds << ")\n";
+      return 1;
+    }
+    if (ws_inter > ws_rounds) {
+      std::cout << "FAIL: interleaved scheduler worse on worst critical "
+                   "switches ("
+                << ws_inter << " vs " << ws_rounds << ")\n";
+      return 1;
+    }
+    if (!smoke && reduction < 1.3) {
+      std::cout << "FAIL: interleaved expansion reduction "
+                << fmt_double(reduction, 2) << "x below the 1.3x gate\n";
       return 1;
     }
   }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Single CI entry point: configure, build src/ with warnings-as-errors,
 # build tests/benches/examples, run the test suite, re-run it under
-# ASan+UBSan (a second cmake preset), and smoke the perf benches at tiny
-# sizes so the hot paths are exercised, not just compiled.
+# ASan+UBSan (a second cmake preset, including a routing bench smoke so
+# the interleaved scheduler's hot path runs sanitized), smoke the perf
+# benches at tiny sizes so the hot paths are exercised, not just
+# compiled, and diff the smoke BENCH_JSON counters against the pinned
+# baselines (scripts/bench_guard.py) so queue-traffic regressions fail
+# CI even when every QoR gate still passes.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -euo pipefail
@@ -19,9 +23,17 @@ SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DMCFPGA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$SAN_DIR" -j "$(nproc)"
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+echo "--- sanitizer bench smoke (engines + both negotiation schedulers) ---"
+"$SAN_DIR"/bench_routing_delay --smoke > /dev/null
 
 echo "--- bench smoke runs ---"
 "$BUILD_DIR"/bench_placer --smoke
 "$BUILD_DIR"/bench_flow_end2end --smoke
-"$BUILD_DIR"/bench_routing_delay --smoke
-"$BUILD_DIR"/bench_incremental --smoke
+"$BUILD_DIR"/bench_routing_delay --smoke | tee "$BUILD_DIR"/bench_routing_smoke.log
+"$BUILD_DIR"/bench_incremental --smoke | tee "$BUILD_DIR"/bench_incremental_smoke.log
+
+echo "--- bench regression guard ---"
+python3 scripts/bench_guard.py --baseline BENCH_ROUTING.json \
+  --log "$BUILD_DIR"/bench_routing_smoke.log
+python3 scripts/bench_guard.py --baseline BENCH_INCREMENTAL.json \
+  --log "$BUILD_DIR"/bench_incremental_smoke.log

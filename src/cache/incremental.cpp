@@ -10,6 +10,7 @@
 #include "cache/key.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "config/context_id.hpp"
 #include "core/closure.hpp"
 #include "core/timing_build.hpp"
 #include "route/router_core.hpp"
@@ -79,6 +80,139 @@ std::string physical_net_key(arch::NodeId source,
 
 bool is_wire(const arch::RoutingGraph& graph, arch::NodeId node) {
   return graph.node(node).kind == arch::NodeKind::kWire;
+}
+
+// --- incremental ProgramStage -----------------------------------------------
+
+/// Whether cluster k's programming recipe is unchanged between the cached
+/// compile and this one, WITHOUT rebuilding its LUT tables: position,
+/// mode, slot membership, pin assignment, and every slot's plane entries
+/// (fanin classes + truth table + plane set) must match.  Comparing the
+/// recipe is O(slots * entries); rebuilding is O(2^inputs) per entry.
+bool lb_recipe_unchanged(const core::FlowContext& ctx,
+                         const core::CompiledDesign& prev, std::size_t k) {
+  const core::Cluster& now = ctx.clusters[k];
+  const core::Cluster& old = prev.clusters[k];
+  if (ctx.placement.cluster_pos[k] != prev.placement.cluster_pos[k]) {
+    return false;
+  }
+  if (now.mode != old.mode || now.slots != old.slots ||
+      now.pin_signals != old.pin_signals) {
+    return false;
+  }
+  for (const std::size_t s : now.slots) {
+    if (s >= prev.slot_output.size() || s >= prev.planes.slots.size() ||
+        ctx.slot_output[s] != prev.slot_output[s]) {
+      return false;
+    }
+    const auto& a = ctx.planes.slots[s].entries;
+    const auto& b = prev.planes.slots[s].entries;
+    if (a.size() != b.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].planes != b[i].planes ||
+          a[i].use.fanin_classes != b[i].use.fanin_classes ||
+          !(a[i].use.truth_table == b[i].use.truth_table)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct ProgramDelta {
+  std::size_t rows_reused = 0;
+  std::size_t rows_reprogrammed = 0;
+  bool full_reprogram = false;
+};
+
+/// ProgramStage with row-level reuse against the cached design.  The full
+/// bitstream is positional — routing rows in SwitchId order, then each
+/// LB's LUT + mode rows in cluster order — so a switch whose pattern
+/// survived the edit, and a cluster whose recipe did, copy their cached
+/// rows verbatim; only changed resources re-derive tables and re-emit
+/// rows.  Produces a bitstream bit-identical to ProgramStage::run.  When
+/// the cached row ledger cannot be aligned (never expected from this
+/// pipeline's gates), falls back to a full reprogram and says so.
+ProgramDelta run_program_incremental(core::FlowContext& ctx,
+                                     const core::CompiledDesign& prev) {
+  ProgramDelta out;
+  const std::size_t n = ctx.spec.num_contexts;
+  const config::Bitstream& pb = prev.full_bitstream;
+  const std::size_t num_switches = ctx.routing.switch_patterns.size();
+
+  const auto full_reprogram = [&]() {
+    ctx.program = sim::FabricProgram{};
+    core::ProgramStage().run(ctx);
+    out = ProgramDelta{};
+    out.rows_reprogrammed = ctx.full_bitstream.num_rows();
+    out.full_reprogram = true;
+    return out;
+  };
+
+  if (prev.program.lbs.size() != ctx.clusters.size() ||
+      prev.routing.switch_patterns.size() != num_switches ||
+      pb.num_contexts() != n || pb.num_rows() < num_switches) {
+    return full_reprogram();
+  }
+
+  ctx.program.switch_patterns = ctx.routing.switch_patterns;
+  config::Bitstream bs(n);
+  // Routing rows, exactly as RouteResult::to_bitstream orders them.
+  for (std::size_t s = 0; s < num_switches; ++s) {
+    const config::BitstreamRow& row = pb.row(s);
+    if (ctx.routing.switch_patterns[s] == prev.routing.switch_patterns[s]) {
+      bs.add_row(row.name, row.kind, row.pattern);
+      ++out.rows_reused;
+    } else {
+      bs.add_row(row.name, config::ResourceKind::kRoutingSwitch,
+                 ctx.routing.switch_patterns[s]);
+      ++out.rows_reprogrammed;
+    }
+  }
+
+  // LB rows: walk the cached bitstream cluster by cluster (each cluster's
+  // cached row count follows from its cached LbConfig), reusing the whole
+  // row block when the recipe is untouched.
+  std::size_t cursor = num_switches;
+  for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
+    const sim::LbConfig& cached = prev.program.lbs[k];
+    std::size_t cached_rows = config::num_id_bits(n);
+    for (const auto& o : cached.outputs) {
+      if (o.used) {
+        cached_rows += std::size_t{1} << cached.mode.inputs;
+      }
+    }
+    if (cursor + cached_rows > pb.num_rows()) {
+      return full_reprogram();
+    }
+    if (lb_recipe_unchanged(ctx, prev, k)) {
+      for (std::size_t r = 0; r < cached_rows; ++r) {
+        const config::BitstreamRow& row = pb.row(cursor + r);
+        bs.add_row(row.name, row.kind, row.pattern);
+      }
+      out.rows_reused += cached_rows;
+      ctx.program.lbs.push_back(cached);
+    } else {
+      sim::LbConfig cfg = core::build_lb_config(ctx, k);
+      out.rows_reprogrammed += core::append_lb_rows(bs, cfg, n);
+      ctx.program.lbs.push_back(std::move(cfg));
+    }
+    cursor += cached_rows;
+  }
+  if (cursor != pb.num_rows()) {
+    return full_reprogram();
+  }
+
+  for (const auto& [name, term] : ctx.input_terminals) {
+    ctx.program.input_pads[name] = ctx.placement.io_pads[term];
+  }
+  for (const auto& [name, term] : ctx.output_terminals) {
+    ctx.program.output_pads[name] = ctx.placement.io_pads[term];
+  }
+  ctx.full_bitstream = std::move(bs);
+  return out;
 }
 
 }  // namespace
@@ -164,10 +298,6 @@ Compiled CompileService::compile_incremental(
   if (options.closure_iterations >= 2) {
     return fallback(previous, edited, options, "closure loop requested");
   }
-  if (options.router.cross_context_mode ==
-      route::CrossContextMode::kNegotiated) {
-    return fallback(previous, edited, options, "negotiated routing");
-  }
   const NetlistDiff diff = diff_netlists(previous.netlist, edited);
   if (diff.changed_nodes == 0) {
     // Bit-for-bit the previous design: let the stage cache replay it.
@@ -175,6 +305,22 @@ Compiled CompileService::compile_incremental(
   }
   if (diff.fraction() > options_.max_diff_fraction) {
     return fallback(previous, edited, options, "diff exceeds threshold");
+  }
+  if (options.router.cross_context_mode != route::CrossContextMode::kOff) {
+    // A cross-context-negotiated design keeps its delta path only when
+    // the edit stays inside ONE context: the other contexts' negotiated
+    // trees then match verbatim and the partial re-route cannot disturb
+    // the cross-context bargain they struck.  An edit spanning contexts
+    // would silently drop the negotiation, so that takes the full
+    // pipeline instead.
+    std::size_t touched_contexts = 0;
+    for (const std::size_t changed : diff.changed_per_context) {
+      touched_contexts += changed > 0 ? 1 : 0;
+    }
+    if (touched_contexts > 1) {
+      return fallback(previous, edited, options,
+                      "negotiated multi-context edit");
+    }
   }
 
   // --- front-end (cheap, cached): techmap / sharing / planes / cluster ----
@@ -425,7 +571,8 @@ Compiled CompileService::compile_incremental(
   push_timing(ctx, "timing", timing_start);
 
   const Clock::time_point program_start = Clock::now();
-  core::ProgramStage().run(ctx);
+  const ProgramDelta program_delta =
+      run_program_incremental(ctx, previous.design);
   push_timing(ctx, "program", program_start);
 
   Compiled out;
@@ -439,6 +586,13 @@ Compiled CompileService::compile_incremental(
   out.design.cache.nets_invalidated = total_invalidated;
   out.design.cache.nets_rerouted = total_invalidated;
   out.design.cache.anneal_moves_saved = moves_saved;
+  out.design.cache.program_rows_reused = program_delta.rows_reused;
+  out.design.cache.program_rows_reprogrammed =
+      program_delta.rows_reprogrammed;
+  if (program_delta.full_reprogram) {
+    out.design.cache.delta_fallback = "full reprogram: cached bitstream "
+                                      "rows could not be aligned";
+  }
   return out;
 }
 

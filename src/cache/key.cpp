@@ -87,6 +87,8 @@ std::uint64_t hash_compile_options(const core::CompileOptions& options) {
       .size(r.cross_context_rounds)
       .f64(r.cross_context_pressure_weight)
       .f64(r.pressure_ramp)
+      .size(r.interleave_waves)
+      .f64(r.interleave_crit_quantum)
       .u64(static_cast<std::uint64_t>(r.queue_mode))
       .f64(r.bucket_quantum)
       .size(r.bucket_span);

@@ -212,8 +212,8 @@ void ClosureLoopStage::run(FlowContext& ctx) const {
     router_options.timing_mode = true;
     std::vector<double> context_crit;
     const std::vector<double>* context_crit_ptr = nullptr;
-    if (router_options.cross_context_mode ==
-        route::CrossContextMode::kNegotiated) {
+    if (router_options.cross_context_mode !=
+        route::CrossContextMode::kOff) {
       const double worst = worst_critical_path(ctx);
       context_crit.resize(ctx.timing_reports.size());
       for (std::size_t c = 0; c < ctx.timing_reports.size(); ++c) {

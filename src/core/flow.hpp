@@ -112,6 +112,12 @@ struct ContextStats {
   /// differ only when the router reroutes a net it could have kept.
   std::size_t nets_invalidated = 0;
   std::size_t nets_rerouted = 0;
+  /// Interleaved cross-context scheduling only (CrossContextMode::
+  /// kInterleaved; 0 otherwise): nets of this context the merged worklist
+  /// ripped + re-routed, and nets re-enqueued because a peer's commit
+  /// changed their pressure (dirty-set churn).
+  std::size_t interleave_reroutes = 0;
+  std::size_t interleave_requeues = 0;
 };
 
 /// Stage-cache and delta-recompile accounting of the compile that produced
@@ -129,6 +135,11 @@ struct CacheStats {
   std::size_t nets_invalidated = 0;    ///< Summed over contexts.
   std::size_t nets_rerouted = 0;       ///< Summed over contexts.
   std::size_t anneal_moves_saved = 0;  ///< Cold-anneal moves skipped.
+  /// Incremental ProgramStage accounting (delta path only): bitstream
+  /// rows copied verbatim from the cached design vs rows actually
+  /// regenerated because their pattern (or the routing) changed.
+  std::size_t program_rows_reused = 0;
+  std::size_t program_rows_reprogrammed = 0;
   /// Why a compile_incremental call fell back to the full pipeline
   /// (empty = no fallback).
   std::string delta_fallback;

@@ -420,12 +420,12 @@ void RouteStage::run(FlowContext& ctx) const {
   // extra output does not perturb the routing itself.
   route::RouteHistory* history =
       ctx.options.closure_iterations >= 2 ? &ctx.route_history : nullptr;
-  // The negotiated cross-context scheduler wants the timing specs even
-  // with timing_mode off: they power its per-round STA scoring (the
-  // timing-driven expansion cost stays gated on timing_mode inside the
-  // router either way).
-  const bool negotiated = ctx.options.router.cross_context_mode ==
-                          route::CrossContextMode::kNegotiated;
+  // The cross-context schedulers (negotiated and interleaved) want the
+  // timing specs even with timing_mode off: they power the per-round /
+  // per-wave STA scoring (the timing-driven expansion cost stays gated on
+  // timing_mode inside the router either way).
+  const bool negotiated = ctx.options.router.cross_context_mode !=
+                          route::CrossContextMode::kOff;
   if (!ctx.router_pool) {
     ctx.router_pool = std::make_shared<route::CorePool>();
   }
@@ -475,54 +475,94 @@ void TimingStage::run(FlowContext& ctx) const {
     stats.heap_pops = summary.heap_pops;
     stats.stale_pops = summary.stale_pops;
     stats.nodes_expanded = summary.nodes_expanded;
+    stats.interleave_reroutes = summary.interleave_reroutes;
+    stats.interleave_requeues = summary.interleave_requeues;
   }
 }
 
 // --- ProgramStage ------------------------------------------------------------
 
+sim::LbConfig build_lb_config(const FlowContext& ctx, std::size_t k) {
+  const Cluster& cl = ctx.clusters[k];
+  const auto [x, y] = ctx.placement.cluster_pos[k];
+  sim::LbConfig cfg;
+  cfg.x = x;
+  cfg.y = y;
+  cfg.mode = cl.mode;
+  cfg.outputs.resize(ctx.spec.logic_block.num_outputs);
+  for (const std::size_t s : cl.slots) {
+    auto& out = cfg.outputs[ctx.slot_output[s]];
+    out.used = true;
+    out.plane_tables.assign(cl.mode.planes,
+                            BitVector(std::size_t{1} << cl.mode.inputs));
+    for (const auto& e : ctx.planes.slots[s].entries) {
+      // Pin positions of the entry's fanins.
+      std::vector<std::size_t> pin(e.use.fanin_classes.size());
+      for (std::size_t i = 0; i < pin.size(); ++i) {
+        pin[i] = pin_of(cl, e.use.fanin_classes[i]);
+      }
+      BitVector table(std::size_t{1} << cl.mode.inputs);
+      for (std::size_t a = 0; a < table.size(); ++a) {
+        std::size_t address = 0;
+        for (std::size_t i = 0; i < pin.size(); ++i) {
+          if ((a >> pin[i]) & 1) {
+            address |= std::size_t{1} << i;
+          }
+        }
+        table.set(a, e.use.truth_table.get(address));
+      }
+      for (const std::size_t plane : e.planes) {
+        out.plane_tables[plane] = table;
+      }
+    }
+  }
+  return cfg;
+}
+
+std::size_t append_lb_rows(config::Bitstream& bitstream,
+                           const sim::LbConfig& lb,
+                           std::size_t num_contexts) {
+  const std::size_t n = num_contexts;
+  std::size_t appended = 0;
+  const std::string prefix =
+      "lb(" + std::to_string(lb.x) + "," + std::to_string(lb.y) + ")";
+  for (std::size_t o = 0; o < lb.outputs.size(); ++o) {
+    if (!lb.outputs[o].used) {
+      continue;
+    }
+    const auto& tables = lb.outputs[o].plane_tables;
+    const std::size_t addresses = std::size_t{1} << lb.mode.inputs;
+    for (std::size_t a = 0; a < addresses; ++a) {
+      config::ContextPattern pattern(n);
+      for (std::size_t c = 0; c < n; ++c) {
+        pattern.set_value(c, tables[c & (lb.mode.planes - 1)].get(a));
+      }
+      bitstream.add_row(
+          prefix + ".out" + std::to_string(o) + "[" + std::to_string(a) + "]",
+          config::ResourceKind::kLutBit, std::move(pattern));
+      ++appended;
+    }
+  }
+  // Mode (size-controller) bits: context-independent by definition.
+  const std::size_t mode_bits = config::num_id_bits(n);
+  const std::size_t planes_log =
+      static_cast<std::size_t>(std::log2(lb.mode.planes) + 0.5);
+  for (std::size_t b = 0; b < mode_bits; ++b) {
+    bitstream.add_row(prefix + ".mode" + std::to_string(b),
+                      config::ResourceKind::kControlBit,
+                      config::ContextPattern(n, ((planes_log >> b) & 1) != 0));
+    ++appended;
+  }
+  return appended;
+}
+
 void ProgramStage::run(FlowContext& ctx) const {
   const std::size_t n = ctx.spec.num_contexts;
   const arch::RoutingGraph& graph = *ctx.graph;
-  const auto cluster_pos = [&](std::size_t k) {
-    return ctx.placement.cluster_pos[k];
-  };
 
   ctx.program.switch_patterns = ctx.routing.switch_patterns;
   for (std::size_t k = 0; k < ctx.clusters.size(); ++k) {
-    const Cluster& cl = ctx.clusters[k];
-    const auto [x, y] = cluster_pos(k);
-    sim::LbConfig cfg;
-    cfg.x = x;
-    cfg.y = y;
-    cfg.mode = cl.mode;
-    cfg.outputs.resize(ctx.spec.logic_block.num_outputs);
-    for (const std::size_t s : cl.slots) {
-      auto& out = cfg.outputs[ctx.slot_output[s]];
-      out.used = true;
-      out.plane_tables.assign(cl.mode.planes,
-                              BitVector(std::size_t{1} << cl.mode.inputs));
-      for (const auto& e : ctx.planes.slots[s].entries) {
-        // Pin positions of the entry's fanins.
-        std::vector<std::size_t> pin(e.use.fanin_classes.size());
-        for (std::size_t i = 0; i < pin.size(); ++i) {
-          pin[i] = pin_of(cl, e.use.fanin_classes[i]);
-        }
-        BitVector table(std::size_t{1} << cl.mode.inputs);
-        for (std::size_t a = 0; a < table.size(); ++a) {
-          std::size_t address = 0;
-          for (std::size_t i = 0; i < pin.size(); ++i) {
-            if ((a >> pin[i]) & 1) {
-              address |= std::size_t{1} << i;
-            }
-          }
-          table.set(a, e.use.truth_table.get(address));
-        }
-        for (const std::size_t plane : e.planes) {
-          out.plane_tables[plane] = table;
-        }
-      }
-    }
-    ctx.program.lbs.push_back(std::move(cfg));
+    ctx.program.lbs.push_back(build_lb_config(ctx, k));
   }
   for (const auto& [name, term] : ctx.input_terminals) {
     ctx.program.input_pads[name] = ctx.placement.io_pads[term];
@@ -535,37 +575,8 @@ void ProgramStage::run(FlowContext& ctx) const {
   // per-context switch patterns the router committed (no net re-scan).
   ctx.full_bitstream = ctx.routing.to_bitstream(graph);
   for (const auto& lb : ctx.program.lbs) {
-    const std::string prefix =
-        "lb(" + std::to_string(lb.x) + "," + std::to_string(lb.y) + ")";
-    for (std::size_t o = 0; o < lb.outputs.size(); ++o) {
-      if (!lb.outputs[o].used) {
-        continue;
-      }
-      const auto& tables = lb.outputs[o].plane_tables;
-      const std::size_t addresses = std::size_t{1} << lb.mode.inputs;
-      for (std::size_t a = 0; a < addresses; ++a) {
-        config::ContextPattern pattern(n);
-        for (std::size_t c = 0; c < n; ++c) {
-          pattern.set_value(c, tables[c & (lb.mode.planes - 1)].get(a));
-        }
-        ctx.full_bitstream.add_row(
-            prefix + ".out" + std::to_string(o) + "[" + std::to_string(a) +
-                "]",
-            config::ResourceKind::kLutBit, std::move(pattern));
-      }
-    }
-    // Mode (size-controller) bits: context-independent by definition.
-    const std::size_t mode_bits = config::num_id_bits(n);
-    const std::size_t planes_log =
-        static_cast<std::size_t>(std::log2(lb.mode.planes) + 0.5);
-    for (std::size_t b = 0; b < mode_bits; ++b) {
-      ctx.full_bitstream.add_row(
-          prefix + ".mode" + std::to_string(b),
-          config::ResourceKind::kControlBit,
-          config::ContextPattern(n, ((planes_log >> b) & 1) != 0));
-    }
+    append_lb_rows(ctx.full_bitstream, lb, n);
   }
-
 }
 
 // --- Pipeline driver ---------------------------------------------------------

@@ -265,6 +265,17 @@ std::uint64_t resolved_placer_seed(const CompileOptions& options);
 std::vector<std::vector<route::RouteNet>> build_route_nets(
     const FlowContext& ctx);
 
+/// One cluster's LUT programming — ProgramStage's per-LB step, exposed so
+/// the delta-recompile driver can regenerate only the clusters an edit
+/// touched.  Requires ClusterStage + PlaceStage outputs.
+sim::LbConfig build_lb_config(const FlowContext& ctx, std::size_t k);
+
+/// Appends one programmed LB's bitstream rows (every used output's LUT
+/// bits, then the mode/control bits) exactly as ProgramStage emits them.
+/// Returns the number of rows appended.
+std::size_t append_lb_rows(config::Bitstream& bitstream,
+                           const sim::LbConfig& lb, std::size_t num_contexts);
+
 /// Seeds a context from the flow inputs (validates both).
 FlowContext make_flow_context(const netlist::MultiContextNetlist& netlist,
                               const arch::FabricSpec& spec,

@@ -27,6 +27,11 @@
 // in insertion order (FIFO preserved), so arbitrarily large costs — deep
 // upstream-delay seeds, heavily historied nodes — cost one extra pass,
 // not correctness.
+//
+// The calendar is generic over the payload: maze expansion queues
+// `arch::NodeId`s, while the interleaved cross-context scheduler queues
+// packed (context, net) keys ordered by 1 - criticality.  Both rely on the
+// same FIFO-within-bucket determinism argument.
 #pragma once
 
 #include <cstddef>
@@ -39,11 +44,12 @@
 
 namespace mcfpga::route {
 
-class BucketQueue {
+template <typename V>
+class CalendarQueue {
  public:
   struct Item {
     double cost;
-    arch::NodeId node;
+    V value;
   };
 
   /// Sizes the calendar.  Idempotent for unchanged parameters (the hot
@@ -81,7 +87,7 @@ class BucketQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
-  void push(double cost, arch::NodeId node) {
+  void push(double cost, V value) {
     std::uint64_t q = quantize(cost);
     // Monotone clamp: never file an item behind the pop cursor (see the
     // header comment) — zero-cost seeds after a rebase land here too.
@@ -89,7 +95,7 @@ class BucketQueue {
     if (q < floor_q) {
       q = floor_q;
     }
-    place(q, Item{cost, node});
+    place(q, Item{cost, value});
     ++size_;
   }
 
@@ -156,5 +162,8 @@ class BucketQueue {
   std::vector<Item> overflow_;        ///< Quantized cost >= base_ + span.
   std::vector<Item> scratch_;         ///< Rebase staging (allocation reuse).
 };
+
+/// Maze expansion's calendar: payload is the routing-graph node.
+using BucketQueue = CalendarQueue<arch::NodeId>;
 
 }  // namespace mcfpga::route

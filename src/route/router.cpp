@@ -72,6 +72,11 @@ void RouterOptions::validate() const {
   MCFPGA_REQUIRE(cross_context_pressure_weight >= 0.0,
                  "cross_context_pressure_weight must be non-negative");
   MCFPGA_REQUIRE(pressure_ramp >= 0.0, "pressure_ramp must be non-negative");
+  MCFPGA_REQUIRE(interleave_waves >= 1,
+                 "interleaved scheduling needs at least one wave");
+  MCFPGA_REQUIRE(interleave_crit_quantum > 0.0 &&
+                     interleave_crit_quantum <= 1.0,
+                 "interleave_crit_quantum must lie in (0, 1]");
   MCFPGA_REQUIRE(bucket_quantum > 0.0, "bucket_quantum must be positive");
   MCFPGA_REQUIRE(bucket_span >= 2,
                  "bucket calendar needs at least two buckets");
@@ -146,7 +151,7 @@ RouteResult Router::route(
     history->prepare(num_contexts, graph_.num_nodes());
   }
 
-  if (options_.cross_context_mode == CrossContextMode::kNegotiated) {
+  if (options_.cross_context_mode != CrossContextMode::kOff) {
     const ContextScheduler scheduler(graph_, options_);
     return scheduler.route(nets_per_context, timing, history,
                            context_criticality, pool);

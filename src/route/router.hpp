@@ -91,6 +91,15 @@ enum class CrossContextMode : std::uint8_t {
   /// independent baseline is round 0 of the negotiation and the best
   /// round wins).
   kNegotiated,
+  /// One merged net-level worklist instead of whole-context rounds: after
+  /// the independent baseline, (context, net) entries are popped from a
+  /// single criticality-ordered calendar queue, ripped up and re-routed
+  /// one net at a time against live cross-context pressure updated at
+  /// commit granularity, and only nets whose pressure actually changed
+  /// are re-enqueued (dirty-set propagation).  Same keep-best guarantee
+  /// and worker-count determinism as kNegotiated, but the cost tracks
+  /// conflict churn instead of rounds x contexts x nets.
+  kInterleaved,
 };
 
 struct RouterOptions {
@@ -145,6 +154,16 @@ struct RouterOptions {
   /// late rounds shove.  0 (the default) is bit-identical to the flat
   /// weight; must be non-negative.
   double pressure_ramp = 0.0;
+  /// kInterleaved only: cap on re-route waves after the baseline.  Each
+  /// wave drains the merged (context, net) queue filled by the previous
+  /// wave's dirty-set propagation; the worklist usually dries up well
+  /// before the cap.  Must be >= 1.
+  std::size_t interleave_waves = 8;
+  /// kInterleaved only: bucket width of the merged queue's priority key
+  /// (1 - context_crit * net_crit, so critical nets pop first).  Nets
+  /// whose keys land in the same bucket pop FIFO, which keeps the wave
+  /// order a pure function of push order.  Must be in (0, 1].
+  double interleave_crit_quantum = 0.015625;
   /// Maze-expansion priority queue engine (see QueueMode).
   QueueMode queue_mode = QueueMode::kBinaryHeap;
   /// Bucket width of the calendar queue (kBucket only).  Costs quantize to
@@ -204,10 +223,20 @@ struct ContextRouteSummary {
   std::size_t heap_pops = 0;
   std::size_t stale_pops = 0;
   std::size_t nodes_expanded = 0;
+  /// kInterleaved only: nets of this context ripped up and re-routed by
+  /// the merged worklist (0 for every other mode, and for a baseline that
+  /// was already conflict-free).
+  std::size_t interleave_reroutes = 0;
+  /// kInterleaved only: (net) entries of this context pushed back onto the
+  /// merged queue because a peer's commit changed their pressure.
+  std::size_t interleave_requeues = 0;
 };
 
 /// One outer negotiation round of the cross-context scheduler (round 0 is
-/// the independent baseline; see route/schedule.hpp).
+/// the independent baseline; see route/schedule.hpp).  In kInterleaved
+/// mode each entry past round 0 is one WAVE of the merged worklist: the
+/// conflicts/QoR columns keep their meaning, and the per-wave churn
+/// counters below become meaningful.
 struct NegotiationRoundStats {
   std::size_t round = 0;
   /// Sum of per-context cross_context_conflicts after this round.
@@ -219,6 +248,20 @@ struct NegotiationRoundStats {
   double seconds = 0.0;
   /// True on the single round whose routing the scheduler returned.
   bool kept = false;
+  /// kInterleaved: nets actually ripped + re-routed in this wave (0 for
+  /// round-based modes and the round-0 baseline).
+  std::size_t nets_rerouted = 0;
+  /// kInterleaved: nets enqueued for the NEXT wave because a commit in
+  /// this wave changed their pressure.  Consistency invariant (tested):
+  /// wave k's nets_rerouted never exceeds wave k-1's nets_requeued.
+  std::size_t nets_requeued = 0;
+  /// Maze-expansion traffic the round/wave actually spent, summed over
+  /// contexts (wave entries count only the ripped nets' re-routes).
+  /// Summing these over every entry gives the negotiation's TOTAL cost —
+  /// the number the interleaved-vs-round-based comparison gates on; the
+  /// kept-round counters in ContextRouteSummary deliberately do not.
+  std::size_t heap_pushes = 0;
+  std::size_t nodes_expanded = 0;
 };
 
 struct RouteResult {
@@ -266,8 +309,8 @@ class Router {
   /// remain bit-identical to serial.
   ///
   /// `context_criticality` (may be null; one value in [0, 1] per context)
-  /// drives the negotiated scheduler's ordering and pressure weights when
-  /// options.cross_context_mode == kNegotiated — the closure loop passes
+  /// drives the scheduler's ordering and pressure weights when
+  /// options.cross_context_mode != kOff — the closure loop passes
   /// each context's critical path as a fraction of the worst context's,
   /// from the previous iteration's STA (1 - slack/budget under the
   /// shared budget).  Null = every context equally critical (ordering

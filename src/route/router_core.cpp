@@ -104,8 +104,8 @@ RouterCore::RouterCore(const arch::RoutingGraph& graph,
   tree_epoch_ = 0;
 }
 
-void RouterCore::heap_push(double cost, NodeId node) {
-  heap_.push_back(HeapItem{cost, node});
+void RouterCore::heap_push(double cost, NodeId value) {
+  heap_.push_back(HeapItem{cost, value});
   std::push_heap(heap_.begin(), heap_.end(),
                  [](const HeapItem& a, const HeapItem& b) {
                    return a.cost > b.cost;
@@ -136,7 +136,9 @@ void RouterCore::refresh_node_cost(std::size_t idx) {
   double congestion = 1.0 + history_[idx] +
                       present_factor_ * static_cast<double>(occupancy_[idx]);
   if (pressure_of_ != nullptr) {
-    congestion += pressure_of_[idx];
+    // pressure_scale_ is 1.0 outside interleaved sessions, and x * 1.0 is
+    // bit-exact — the scheduler's round-based modes stay bit-identical.
+    congestion += pressure_scale_ * pressure_of_[idx];
   }
   node_cost_[idx] = base_cost_[idx] * congestion;
 }
@@ -165,12 +167,12 @@ bool RouterCore::expand_to_sink(Queue& queue,
   while (!queue.empty()) {
     const auto item = queue.pop();
     ++result.heap_pops;
-    const std::size_t u = static_cast<std::size_t>(item.node);
+    const std::size_t u = static_cast<std::size_t>(item.value);
     if (item.cost > dist_of(u)) {
       ++result.stale_pops;
       continue;
     }
-    if (item.node == sink) {
+    if (item.value == sink) {
       return true;
     }
     // Pins and pads are terminals: do not route THROUGH them.
@@ -191,6 +193,14 @@ bool RouterCore::expand_to_sink(Queue& queue,
       }
       // Only the target sink may be entered among non-wire nodes.
       if (is_wire_[vi] == 0 && v != sink) {
+        continue;
+      }
+      // Interleaved sessions route exclusively: a node any peer net of
+      // this context occupies is off limits (the ripped net's own nodes
+      // are free — its occupancy was released before the re-route).  A
+      // no-op outside sessions: the flag is only set between
+      // session_begin and session_finish.
+      if (session_exclusive_ && occupancy_[vi] != 0) {
         continue;
       }
       // Nodes already in the net's tree are seeds, never targets:
@@ -254,6 +264,8 @@ RouterCore::ContextResult RouterCore::route_pass(
   const std::size_t num_nodes = graph_.num_nodes();
   MCFPGA_CHECK(scratch_nodes_ == num_nodes,
                "route_pass scratch must be graph-node-sized");
+  MCFPGA_CHECK(!session_active_,
+               "route_pass would clobber an active interleaved session");
   MCFPGA_REQUIRE(pressure == nullptr || pressure->size() == num_nodes,
                  "cross-context pressure must be graph-node-sized");
   pressure_of_ = pressure ? pressure->data() : nullptr;
@@ -489,6 +501,263 @@ RouterCore::ContextResult RouterCore::route_pass(
     }
   }
   return result;
+}
+
+void RouterCore::session_begin(const std::vector<RouteNet>& nets,
+                               const timing::ContextTimingSpec* timing,
+                               const std::vector<RoutedNet>& routed,
+                               const std::vector<double>* history_seed,
+                               const double* pressure_total,
+                               double pressure_scale) {
+  const std::size_t num_nodes = graph_.num_nodes();
+  MCFPGA_CHECK(scratch_nodes_ == num_nodes,
+               "session scratch must be graph-node-sized");
+  MCFPGA_CHECK(!session_active_, "session_begin on an armed session");
+  MCFPGA_REQUIRE(routed.size() == nets.size(),
+                 "adopted routing must parallel the input nets");
+
+  session_active_ = true;
+  session_exclusive_ = true;
+  session_input_ = &nets;
+  pressure_of_ = pressure_total;
+  pressure_scale_ = pressure_scale;
+  session_nets_ = routed;
+  session_result_ = {};
+  session_saved_paths_.clear();
+  session_saved_tree_.clear();
+
+  std::fill_n(occupancy_, num_nodes, 0);
+  if (history_seed != nullptr && history_seed->size() == num_nodes) {
+    // The baseline's final history prices wires consistently all session;
+    // sessions never write history (exclusion forbids overuse).
+    std::copy(history_seed->begin(), history_seed->end(), history_);
+  } else {
+    std::fill_n(history_, num_nodes, 0.0);
+  }
+  present_factor_ = 0.5;
+
+  if (epoch_ >= kEpochRewind || tree_epoch_ >= kEpochRewind) {
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      nodes_[i].dist_epoch = 0;
+      nodes_[i].tree_epoch = 0;
+    }
+    epoch_ = 0;
+    tree_epoch_ = 0;
+  }
+  if (options_.queue_mode == QueueMode::kBucket) {
+    bucket_.configure(options_.bucket_quantum, options_.bucket_span);
+    bucket_.clear();
+  }
+
+  // Rebuild each net's tree-node set (source + every path edge target,
+  // deduplicated with a tree-epoch mark) and the occupancy/owner maps the
+  // exclusive expansion and the dirty-set propagation read.
+  session_owner_.assign(num_nodes, -1);
+  session_tree_.assign(nets.size(), {});
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    std::vector<NodeId>& tree = session_tree_[i];
+    tree.push_back(nets[i].source);
+    ++tree_epoch_;
+    nodes_[static_cast<std::size_t>(nets[i].source)].tree_epoch = tree_epoch_;
+    for (const RoutedPath& path : session_nets_[i].paths) {
+      for (const EdgeId e : path.edges) {
+        const NodeId v = graph_.edge(e).to;
+        const std::size_t vi = static_cast<std::size_t>(v);
+        if (nodes_[vi].tree_epoch != tree_epoch_) {
+          nodes_[vi].tree_epoch = tree_epoch_;
+          tree.push_back(v);
+        }
+      }
+    }
+    for (const NodeId n : tree) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      ++occupancy_[ni];
+      if (is_wire_[ni] != 0) {
+        session_owner_[ni] = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    refresh_node_cost(n);
+  }
+
+  // Freeze per-connection criticalities from an STA of the ADOPTED switch
+  // counts — the post-baseline timing picture orders the merged queue and
+  // blends each re-route's expansion cost.  Untimed sessions treat every
+  // net as fully critical (ordering falls back to push order).
+  session_net_crit_.assign(nets.size(), 1.0);
+  session_timing_ = nullptr;
+  session_arcs_ = nullptr;
+  if (options_.timing_mode && timing != nullptr) {
+    MCFPGA_REQUIRE(timing->nets.size() == nets.size(),
+                   "timing spec must parallel the context's net list");
+    TimingEngine& engine = timing_engine(*timing);
+    session_timing_ = timing;
+    session_arcs_ = &engine.arcs;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const auto& paths = session_nets_[i].paths;
+      MCFPGA_REQUIRE(timing->nets[i].sinks.size() == paths.size(),
+                     "timing spec sinks must parallel the adopted paths");
+      for (std::size_t j = 0; j < paths.size(); ++j) {
+        engine.arcs.set_connection_switches(
+            engine.sta, engine.arcs.connection(i, j), paths[j].switch_count());
+      }
+    }
+    engine.sta.analyze();
+    const RouterOptions::CriticalityExponentSchedule& s =
+        options_.criticality_exponent_schedule;
+    const double exponent = std::min(s.max, s.start);
+    crit_.assign(engine.arcs.num_connections(), 0.0);
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      double net_crit = 0.0;
+      for (std::size_t j = 0; j < session_nets_[i].paths.size(); ++j) {
+        const std::size_t conn = engine.arcs.connection(i, j);
+        double c = engine.arcs.connection_criticality(engine.sta, conn);
+        if (exponent != 1.0) {
+          c = std::pow(c, exponent);
+        }
+        c = std::min(c, options_.max_criticality);
+        crit_[conn] = c;
+        net_crit = std::max(net_crit, c);
+      }
+      session_net_crit_[i] = net_crit;
+    }
+  }
+}
+
+void RouterCore::session_rip_net(std::size_t i,
+                                 std::vector<arch::NodeId>& freed_wires) {
+  MCFPGA_CHECK(session_active_, "session_rip_net without session_begin");
+  freed_wires.clear();
+  session_saved_index_ = i;
+  session_saved_paths_ = std::move(session_nets_[i].paths);
+  session_saved_tree_ = std::move(session_tree_[i]);
+  session_nets_[i].paths.clear();
+  session_tree_[i].clear();
+  for (const NodeId n : session_saved_tree_) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    --occupancy_[ni];
+    refresh_node_cost(ni);
+    if (is_wire_[ni] != 0) {
+      session_owner_[ni] = -1;
+      freed_wires.push_back(n);
+    }
+  }
+}
+
+bool RouterCore::session_route_net(std::size_t i,
+                                   std::vector<arch::NodeId>& gained_wires) {
+  MCFPGA_CHECK(session_active_, "session_route_net without session_begin");
+  gained_wires.clear();
+  const RouteNet& net = (*session_input_)[i];
+  const bool bucket_mode = options_.queue_mode == QueueMode::kBucket;
+  BinaryQueue binary{*this};
+
+  RoutedNet fresh;
+  fresh.name = net.name;
+  fresh.source = net.source;
+  std::vector<NodeId> tree;
+  tree.push_back(net.source);
+  ++tree_epoch_;
+  nodes_[static_cast<std::size_t>(net.source)].tree_epoch = tree_epoch_;
+  nodes_[static_cast<std::size_t>(net.source)].depth = 0;
+
+  for (std::size_t j = 0; j < net.sinks.size(); ++j) {
+    const NodeId sink = net.sinks[j];
+    double cong_scale = 1.0;
+    double delay_term = 0.0;
+    if (session_arcs_ != nullptr) {
+      const double c = crit_[session_arcs_->connection(i, j)];
+      cong_scale = 1.0 - c;
+      delay_term = c * session_timing_->se_delay;
+    }
+    const bool found =
+        bucket_mode ? expand_to_sink(bucket_, tree, sink, cong_scale,
+                                     delay_term, session_result_)
+                    : expand_to_sink(binary, tree, sink, cong_scale,
+                                     delay_term, session_result_);
+    if (!found) {
+      // Blocked under exclusion (the peer nets hold every remaining
+      // corridor).  Nothing was committed; the caller restores the old
+      // tree and keeps the baseline routing for this net.
+      return false;
+    }
+    RoutedPath path;
+    path.sink = sink;
+    NodeId cur = sink;
+    while (nodes_[static_cast<std::size_t>(cur)].prev != -1) {
+      const EdgeId e = nodes_[static_cast<std::size_t>(cur)].prev;
+      path.edges.push_back(e);
+      if (graph_.rr_switch(graph_.edge(e).sw).owner == SwitchOwner::kDiamond) {
+        ++path.diamond_count;
+      }
+      cur = graph_.edge(e).from;
+    }
+    std::reverse(path.edges.begin(), path.edges.end());
+    for (const EdgeId e : path.edges) {
+      const NodeId v = graph_.edge(e).to;
+      const std::size_t vi = static_cast<std::size_t>(v);
+      if (nodes_[vi].tree_epoch != tree_epoch_) {
+        nodes_[vi].tree_epoch = tree_epoch_;
+        nodes_[vi].depth =
+            nodes_[static_cast<std::size_t>(graph_.edge(e).from)].depth + 1;
+        tree.push_back(v);
+      }
+    }
+    fresh.paths.push_back(std::move(path));
+  }
+
+  for (const NodeId n : tree) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    ++occupancy_[ni];
+    refresh_node_cost(ni);
+    if (is_wire_[ni] != 0) {
+      session_owner_[ni] = static_cast<std::int32_t>(i);
+      gained_wires.push_back(n);
+    }
+  }
+  session_nets_[i] = std::move(fresh);
+  session_tree_[i] = std::move(tree);
+  return true;
+}
+
+void RouterCore::session_restore_net(std::size_t i) {
+  MCFPGA_CHECK(session_active_ && session_saved_index_ == i,
+               "session_restore_net must undo the most recent rip");
+  session_nets_[i].paths = std::move(session_saved_paths_);
+  session_tree_[i] = std::move(session_saved_tree_);
+  session_saved_paths_.clear();
+  session_saved_tree_.clear();
+  for (const NodeId n : session_tree_[i]) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    ++occupancy_[ni];
+    refresh_node_cost(ni);
+    if (is_wire_[ni] != 0) {
+      session_owner_[ni] = static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+void RouterCore::session_refresh_pressure(
+    const std::vector<arch::NodeId>& nodes) {
+  MCFPGA_CHECK(session_active_, "session_refresh_pressure without a session");
+  for (const NodeId n : nodes) {
+    refresh_node_cost(static_cast<std::size_t>(n));
+  }
+}
+
+RouterCore::ContextResult RouterCore::session_finish() {
+  MCFPGA_CHECK(session_active_, "session_finish without session_begin");
+  ContextResult out = std::move(session_result_);
+  session_result_ = {};
+  session_active_ = false;
+  session_exclusive_ = false;
+  session_input_ = nullptr;
+  session_timing_ = nullptr;
+  session_arcs_ = nullptr;
+  pressure_of_ = nullptr;
+  pressure_scale_ = 1.0;
+  return out;
 }
 
 void CorePool::prepare(std::size_t count, const arch::RoutingGraph& graph,

@@ -139,10 +139,89 @@ class RouterCore {
     return route_pass(nets, timing, history, nullptr, nullptr);
   }
 
+  // ---- Interleaved-session API (cross_context_mode == kInterleaved) ----
+  //
+  // A session adopts one context's CONVERGED routing (the scheduler's
+  // round-0 baseline) and then rips up and re-routes INDIVIDUAL nets
+  // against a live shared pressure array the scheduler owns — commit
+  // granularity instead of round granularity.  Two properties make
+  // net-granular negotiation sound without further PathFinder iterations:
+  //   * sessions route EXCLUSIVELY — the expansion never enters a node
+  //     another net of this context currently occupies — so intra-context
+  //     occupancy can never exceed 1 and no overuse/history step is needed;
+  //   * rip and route are SEPARATE calls, so the scheduler can subtract
+  //     the ripped net's own usage from the shared pressure before the
+  //     re-route (a net must not be repelled by its own old wires).
+  // The session never touches history_ after the baseline seed, so the
+  // baseline's congestion lessons price wires consistently all session.
+
+  /// Adopts `routed` (parallel to `nets`, the converged baseline) and
+  /// arms the session: occupancy/owner maps rebuilt from the trees,
+  /// history seeded from `history_seed` (may be null), node costs built
+  /// against `pressure_total` (graph-node-sized, scheduler-owned, may be
+  /// null) scaled by `pressure_scale`, and per-net criticalities frozen
+  /// from an STA of the adopted switch counts (1.0 per net when untimed).
+  void session_begin(const std::vector<RouteNet>& nets,
+                     const timing::ContextTimingSpec* timing,
+                     const std::vector<RoutedNet>& routed,
+                     const std::vector<double>* history_seed,
+                     const double* pressure_total, double pressure_scale);
+
+  /// Rips net `i` up: occupancy released, owner cleared, node costs
+  /// patched.  `freed_wires` receives the WIRE nodes released (the
+  /// scheduler's pressure patch set).  The old tree is retained for
+  /// session_restore_net until the next rip.
+  void session_rip_net(std::size_t i, std::vector<arch::NodeId>& freed_wires);
+
+  /// Re-routes net `i` from scratch under exclusion + live pressure.
+  /// On success commits occupancy/owner/node costs and fills
+  /// `gained_wires` with the WIRE nodes of the new tree; on failure
+  /// (a sink unreachable under exclusion) commits NOTHING and returns
+  /// false — the caller restores the old tree.
+  bool session_route_net(std::size_t i,
+                         std::vector<arch::NodeId>& gained_wires);
+
+  /// Re-commits the tree saved by the last session_rip_net (blocked
+  /// re-route): occupancy, owner, and node costs return to their
+  /// pre-rip state.
+  void session_restore_net(std::size_t i);
+
+  /// Re-derives the cached congestion cost at `nodes` after the scheduler
+  /// patched the shared pressure array there (every context's session
+  /// shares that array, so every core must be told).
+  void session_refresh_pressure(const std::vector<arch::NodeId>& nodes);
+
+  /// The session's current routing (adopted baseline + committed
+  /// re-routes), parallel to the input nets.
+  const std::vector<RoutedNet>& session_nets() const { return session_nets_; }
+
+  /// Net index currently occupying wire node `node`, or -1.  Well-defined
+  /// because sessions route exclusively (intra-context occupancy <= 1).
+  std::int32_t session_owner(std::size_t node) const {
+    return session_owner_[node];
+  }
+
+  /// Frozen criticality of net `i` (max over its connections; 1.0 when
+  /// untimed) — the merged queue's priority key ingredient.
+  double session_net_criticality(std::size_t i) const {
+    return session_net_crit_[i];
+  }
+
+  /// Expansion-engine traffic accumulated by the session so far — the
+  /// scheduler differences these across a wave for per-wave stats.
+  std::size_t session_heap_pushes() const { return session_result_.heap_pushes; }
+  std::size_t session_nodes_expanded() const {
+    return session_result_.nodes_expanded;
+  }
+
+  /// Disarms the session and returns the expansion-engine traffic it
+  /// accumulated (nets/iterations/converged are the scheduler's to fill).
+  ContextResult session_finish();
+
  private:
   struct HeapItem {
     double cost;
-    arch::NodeId node;
+    arch::NodeId value;
   };
 
   /// Packed per-node expansion record: everything one relaxation reads or
@@ -164,7 +243,7 @@ class RouterCore {
     RouterCore& core;
     void clear() { core.heap_.clear(); }
     bool empty() const { return core.heap_.empty(); }
-    void push(double cost, arch::NodeId node) { core.heap_push(cost, node); }
+    void push(double cost, arch::NodeId value) { core.heap_push(cost, value); }
     HeapItem pop() { return core.heap_pop(); }
   };
 
@@ -181,7 +260,7 @@ class RouterCore {
         : spec(&s), signature(sig), arcs(s), sta(s.num_nodes, arcs.arcs()) {}
   };
 
-  void heap_push(double cost, arch::NodeId node);
+  void heap_push(double cost, arch::NodeId value);
   HeapItem heap_pop();
 
   /// Distance of `node` in the current Dijkstra epoch (infinity if
@@ -233,9 +312,16 @@ class RouterCore {
   std::uint32_t epoch_ = 0;
   std::uint32_t tree_epoch_ = 0;
 
-  // Pass-scoped cost inputs captured for refresh_node_cost.
+  // Pass-scoped cost inputs captured for refresh_node_cost.  The scale
+  // defaults to 1.0 outside sessions, and x * 1.0 is bit-exact for every
+  // finite x — so the scaled expression stays bit-identical to the
+  // historical one for all non-session passes.
   double present_factor_ = 0.5;
   const double* pressure_of_ = nullptr;
+  double pressure_scale_ = 1.0;
+  /// Session mode: the expansion skips any node another net of this
+  /// context occupies.  False (all non-session passes) is a no-op.
+  bool session_exclusive_ = false;
 
   std::vector<HeapItem> heap_;
   BucketQueue bucket_;
@@ -243,6 +329,21 @@ class RouterCore {
   // Timing caches (see TimingEngine) plus the per-pass criticality buffer.
   std::vector<std::unique_ptr<TimingEngine>> timing_cache_;
   std::vector<double> crit_;
+
+  // Interleaved-session state (see the session_* methods).
+  bool session_active_ = false;
+  const std::vector<RouteNet>* session_input_ = nullptr;
+  const timing::ContextTimingSpec* session_timing_ = nullptr;
+  timing::ConnectionArcs* session_arcs_ = nullptr;
+  std::vector<RoutedNet> session_nets_;
+  std::vector<std::vector<arch::NodeId>> session_tree_;
+  std::vector<std::int32_t> session_owner_;
+  std::vector<double> session_net_crit_;
+  ContextResult session_result_;
+  // Single-slot undo state for the rip → route → (restore) protocol.
+  std::size_t session_saved_index_ = 0;
+  std::vector<RoutedPath> session_saved_paths_;
+  std::vector<arch::NodeId> session_saved_tree_;
 };
 
 /// Pool of per-worker engine state: one RouterCore per slot, each on its

@@ -59,9 +59,16 @@ RouteResult ContextScheduler::route(
   // and cached timing DAGs.  Slot 0 doubles as the claim pass's engine.
   const std::size_t workers =
       effective_threads(options_.num_threads, num_contexts);
+  const bool interleaved =
+      options_.cross_context_mode == CrossContextMode::kInterleaved;
   CorePool local_pool;
   CorePool& cores = pool != nullptr ? *pool : local_pool;
-  cores.prepare(std::max<std::size_t>(workers, 1), graph_, options_);
+  // Interleaved mode keeps one live session per CONTEXT (each owns a
+  // context's occupancy/owner maps for the whole wave loop), so the pool
+  // must cover the contexts, not just the workers.
+  cores.prepare(std::max(std::max<std::size_t>(workers, 1),
+                         interleaved ? num_contexts : 0),
+                graph_, options_);
 
   // Effective pressure weight of one negotiation round: the flat weight,
   // ramped up round by round when pressure_ramp is set (ramp 0 multiplies
@@ -242,6 +249,10 @@ RouteResult ContextScheduler::route(
             std::max(s.worst_critical_path, sta[c].critical_path());
       }
     }
+    for (const auto& r : current) {
+      s.heap_pushes += r.heap_pushes;
+      s.nodes_expanded += r.nodes_expanded;
+    }
     s.seconds =
         std::chrono::duration<double>(clock::now() - start).count();
     stats.push_back(s);
@@ -258,10 +269,15 @@ RouteResult ContextScheduler::route(
   Snapshot best{current, hist};
   std::size_t best_round = 0;
 
+  // Per-context interleaved churn counters (stay zero in round-based
+  // modes; folded into the merged summaries at the tail).
+  std::vector<std::size_t> interleave_reroutes(num_contexts, 0);
+  std::vector<std::size_t> interleave_requeues(num_contexts, 0);
+
   // Negotiation only makes sense over a converged baseline with something
   // to negotiate about; pressure never helps a context that could not
   // even resolve its own congestion (it only adds cost).
-  if (all_converged() && stats[0].conflicts > 0) {
+  if (all_converged() && stats[0].conflicts > 0 && !interleaved) {
     std::size_t prev_conflicts = stats[0].conflicts;
     for (std::size_t round = 1; round <= options_.cross_context_rounds;
          ++round) {
@@ -291,6 +307,266 @@ RouteResult ContextScheduler::route(
     }
   }
 
+  // --- Net-interleaved negotiation: one merged worklist ----------------------
+  //
+  // Instead of whole-context rounds, arm one live SESSION per context
+  // (each adopts its round-0 routing) and drive a single merged
+  // (context, net) queue ordered by criticality.  Each pop rips ONE net,
+  // patches the shared pressure, and re-routes it against the LIVE
+  // pressure of everyone else — commit granularity instead of round
+  // granularity — then re-enqueues only the nets whose pressure the
+  // commit actually changed (dirty-set propagation).  The whole loop is
+  // sequential and the queue pops FIFO within a priority bucket, so the
+  // result is deterministic for any worker count; cost tracks conflict
+  // churn, not rounds x contexts x nets.
+  if (all_converged() && stats[0].conflicts > 0 && interleaved) {
+    // All sessions share ONE unscaled pressure array
+    //   total[n] = sum_c crit[c] * usage[c][n]
+    // (each core scales it by the flat pressure weight; the per-round
+    // pressure_ramp does not apply — there are no rounds).  `users[n]`
+    // counts the contexts holding wire n — the conflict predicate.
+    const double weight = options_.cross_context_pressure_weight;
+    std::vector<double> total(num_nodes, 0.0);
+    std::vector<std::uint16_t> users(num_nodes, 0);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (usage[c][n] != 0) {
+          total[n] += crit[c];
+          ++users[n];
+        }
+      }
+    }
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      cores.core(c).session_begin(nets_per_context[c],
+                                  timing ? &(*timing)[c] : nullptr,
+                                  current[c].nets, &hist[c], total.data(),
+                                  weight);
+    }
+
+    // Re-derives total[] at the patched nodes from the usage columns
+    // (exact, no float drift from repeated add/subtract) and tells every
+    // session the pressure there changed.
+    const auto patch = [&](const std::vector<arch::NodeId>& nodes,
+                           std::size_t c, bool add) {
+      for (const arch::NodeId n : nodes) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        usage[c][ni] = add ? 1 : 0;
+        users[ni] = static_cast<std::uint16_t>(users[ni] + (add ? 1 : -1));
+        double t = 0.0;
+        for (std::size_t c2 = 0; c2 < num_contexts; ++c2) {
+          if (usage[c2][ni] != 0) {
+            t += crit[c2];
+          }
+        }
+        total[ni] = t;
+      }
+      for (std::size_t c2 = 0; c2 < num_contexts; ++c2) {
+        cores.core(c2).session_refresh_pressure(nodes);
+      }
+    };
+
+    // The merged worklist: a calendar queue keyed by
+    // 1 - ctx_crit * net_crit (critical nets pop first), FIFO within a
+    // bucket.  Two queues ping-pong: wave w drains one while dirty-set
+    // requeues fill the other — pushing into the draining queue would
+    // fight its monotone cursor and make pop order depend on drain
+    // progress.
+    const auto pack = [](std::size_t c, std::size_t i) {
+      return (static_cast<std::uint64_t>(c) << 32) |
+             static_cast<std::uint64_t>(i);
+    };
+    const auto key_of = [&](std::size_t c, std::size_t i) {
+      return 1.0 - std::clamp(
+                       crit[c] * cores.core(c).session_net_criticality(i),
+                       0.0, 1.0);
+    };
+    const std::size_t span =
+        static_cast<std::size_t>(1.0 / options_.interleave_crit_quantum) + 2;
+    CalendarQueue<std::uint64_t> queues[2];
+    queues[0].configure(options_.interleave_crit_quantum, span);
+    queues[1].configure(options_.interleave_crit_quantum, span);
+
+    // wave_mark[c][i] == w: net (c, i) is already enqueued for wave w.
+    std::vector<std::vector<std::size_t>> wave_mark(num_contexts);
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      wave_mark[c].assign(nets_per_context[c].size(), 0);
+    }
+    // Wave-1 seeds: every net currently holding a contested wire, in
+    // (context, net) order — the queue's buckets re-order them by
+    // criticality.
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      const std::vector<RoutedNet>& nets = cores.core(c).session_nets();
+      for (std::size_t i = 0; i < nets.size(); ++i) {
+        bool contested = false;
+        for (const RoutedPath& path : nets[i].paths) {
+          for (const arch::EdgeId e : path.edges) {
+            const arch::NodeId to = graph_.edge(e).to;
+            if (graph_.node(to).kind == arch::NodeKind::kWire &&
+                users[static_cast<std::size_t>(to)] >= 2) {
+              contested = true;
+              break;
+            }
+          }
+          if (contested) {
+            break;
+          }
+        }
+        if (contested) {
+          wave_mark[c][i] = 1;
+          queues[0].push(key_of(c, i), pack(c, i));
+        }
+      }
+    }
+
+    std::vector<arch::NodeId> freed;
+    std::vector<arch::NodeId> gained;
+    std::size_t active = 0;
+    for (std::size_t wave = 1; wave <= options_.interleave_waves; ++wave) {
+      CalendarQueue<std::uint64_t>& work = queues[active];
+      CalendarQueue<std::uint64_t>& next = queues[1 - active];
+      if (work.empty()) {
+        break;  // the dirty set dried up: nothing left to negotiate
+      }
+      start = clock::now();
+      std::size_t rerouted = 0;
+      std::size_t requeued = 0;
+      std::size_t pushes_before = 0;
+      std::size_t expanded_before = 0;
+      for (std::size_t c = 0; c < num_contexts; ++c) {
+        pushes_before += cores.core(c).session_heap_pushes();
+        expanded_before += cores.core(c).session_nodes_expanded();
+      }
+      while (!work.empty()) {
+        const auto item = work.pop();
+        const std::size_t c = static_cast<std::size_t>(item.value >> 32);
+        const std::size_t i =
+            static_cast<std::size_t>(item.value & 0xffffffffu);
+        RouterCore& core = cores.core(c);
+        // Rip FIRST and patch the shared pressure down, so the re-route
+        // is not repelled by the net's own old wires.
+        core.session_rip_net(i, freed);
+        patch(freed, c, false);
+        if (core.session_route_net(i, gained)) {
+          ++rerouted;
+          ++interleave_reroutes[c];
+          patch(gained, c, true);
+          // Dirty-set propagation: a commit changes a peer's incentive
+          // only where this net GAINED wire the peer holds — that
+          // owner (unique per context: sessions route exclusively) gets
+          // one next-wave entry.  Freed-only nodes need no requeue:
+          // losing pressure never invalidates a peer's current route.
+          for (const arch::NodeId n : gained) {
+            const std::size_t ni = static_cast<std::size_t>(n);
+            if (users[ni] < 2) {
+              continue;
+            }
+            for (std::size_t c2 = 0; c2 < num_contexts; ++c2) {
+              if (c2 == c || usage[c2][ni] == 0) {
+                continue;
+              }
+              const std::int32_t peer = cores.core(c2).session_owner(ni);
+              if (peer < 0) {
+                continue;
+              }
+              const std::size_t pi = static_cast<std::size_t>(peer);
+              if (wave_mark[c2][pi] == wave + 1) {
+                continue;
+              }
+              wave_mark[c2][pi] = wave + 1;
+              next.push(key_of(c2, pi), pack(c2, pi));
+              ++requeued;
+              ++interleave_requeues[c2];
+            }
+          }
+        } else {
+          // Blocked under exclusion: keep the baseline route for this
+          // net (never-worse), put its pressure back.
+          core.session_restore_net(i);
+          patch(freed, c, true);
+        }
+      }
+
+      // Score the wave exactly like a negotiation round, against the
+      // sessions' live routing; keep-best preserves the never-worse
+      // guarantee wave by wave.
+      NegotiationRoundStats s;
+      s.round = stats.size();
+      for (const std::size_t per_context : cross_context_conflicts(usage)) {
+        s.conflicts += per_context;
+      }
+      for (std::size_t c = 0; c < num_contexts; ++c) {
+        for (const RoutedNet& net : cores.core(c).session_nets()) {
+          for (const RoutedPath& path : net.paths) {
+            s.worst_critical_switches =
+                std::max(s.worst_critical_switches, path.switch_count());
+          }
+        }
+      }
+      if (score_by_sta) {
+        for (std::size_t c = 0; c < num_contexts; ++c) {
+          const std::vector<RoutedNet>& nets = cores.core(c).session_nets();
+          for (std::size_t i = 0; i < nets.size(); ++i) {
+            for (std::size_t j = 0; j < nets[i].paths.size(); ++j) {
+              arcs[c].set_connection_switches(
+                  sta[c], arcs[c].connection(i, j),
+                  nets[i].paths[j].switch_count());
+            }
+          }
+          sta[c].analyze();
+          s.worst_critical_path =
+              std::max(s.worst_critical_path, sta[c].critical_path());
+        }
+      }
+      s.seconds = std::chrono::duration<double>(clock::now() - start).count();
+      s.nets_rerouted = rerouted;
+      s.nets_requeued = requeued;
+      for (std::size_t c = 0; c < num_contexts; ++c) {
+        s.heap_pushes += cores.core(c).session_heap_pushes();
+        s.nodes_expanded += cores.core(c).session_nodes_expanded();
+      }
+      s.heap_pushes -= pushes_before;
+      s.nodes_expanded -= expanded_before;
+      stats.push_back(s);
+
+      const Score score{score_by_sta
+                            ? s.worst_critical_path
+                            : static_cast<double>(s.worst_critical_switches),
+                        s.conflicts};
+      if (score.better_than(best_score)) {
+        best_score = score;
+        best_round = stats.size() - 1;
+        for (std::size_t c = 0; c < num_contexts; ++c) {
+          RouterCore::ContextResult& r = best.results[c];
+          r.nets = cores.core(c).session_nets();
+          r.wire_nodes_used = 0;
+          r.switches_crossed = 0;
+          for (const RoutedNet& net : r.nets) {
+            for (const RoutedPath& path : net.paths) {
+              r.switches_crossed += path.switch_count();
+              r.wire_nodes_used += path.edges.size();
+            }
+          }
+        }
+        // History stays the baseline's: sessions route exclusively and
+        // never write history.
+      }
+      active = 1 - active;
+      if (s.conflicts == 0) {
+        break;  // a further wave could only tie on the kept metric
+      }
+    }
+
+    // Close the sessions and attribute their expansion traffic to the
+    // kept results — the counters describe work done, whichever wave won.
+    for (std::size_t c = 0; c < num_contexts; ++c) {
+      const RouterCore::ContextResult sess = cores.core(c).session_finish();
+      best.results[c].heap_pushes += sess.heap_pushes;
+      best.results[c].heap_pops += sess.heap_pops;
+      best.results[c].stale_pops += sess.stale_pops;
+      best.results[c].nodes_expanded += sess.nodes_expanded;
+    }
+  }
+
   // --- Keep the best round ---------------------------------------------------
   if (history != nullptr) {
     history->per_context = std::move(best.history);
@@ -299,6 +575,10 @@ RouteResult ContextScheduler::route(
   result.negotiation_rounds = stats.size();
   stats[best_round].kept = true;
   result.negotiation_stats = std::move(stats);
+  for (std::size_t c = 0; c < num_contexts; ++c) {
+    result.context_summary[c].interleave_reroutes = interleave_reroutes[c];
+    result.context_summary[c].interleave_requeues = interleave_requeues[c];
+  }
   return result;
 }
 

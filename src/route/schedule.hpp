@@ -45,6 +45,33 @@
 // construction), and per-round usage merges in context order — so the
 // result is a pure function of (options, nets, criticalities, history),
 // regardless of worker count.
+//
+// CrossContextMode::kInterleaved replaces the rounds AFTER the shared
+// round-0 baseline with one merged net-level worklist:
+//
+//   arm      One RouterCore SESSION per context adopts its baseline
+//            routing; all sessions share one live pressure array
+//            total[n] = sum_c crit_c * usage_c[n] (scaled by the flat
+//            cross_context_pressure_weight; pressure_ramp does not apply).
+//   wave 1   Every net holding a contested wire (>= 2 contexts) enters a
+//            single calendar queue keyed by 1 - ctx_crit * net_crit —
+//            critical nets pop first, FIFO within a priority bucket.
+//   pop      Rip ONE net, patch the shared pressure down at its freed
+//            wires, re-route it exclusively (never through a wire a peer
+//            net of the SAME context holds) against live peer pressure,
+//            patch pressure up at the gained wires.  A blocked re-route
+//            restores the baseline tree (never-worse per net).
+//   dirty    Only peers holding a wire the commit GAINED are re-enqueued
+//            — into the NEXT wave's queue (ping-pong, so the draining
+//            queue's monotone cursor is never fought).  Waves end when
+//            the dirty set dries up or interleave_waves is hit.
+//
+// Each wave is scored like a negotiation round and the best state is
+// kept, so kInterleaved inherits the never-worse-than-independent
+// guarantee; the loop is sequential and the queue pops are a pure
+// function of pushes, so the result is deterministic for any worker
+// count.  Cost now tracks actual conflict churn (nets re-routed per
+// wave) instead of rounds x contexts x nets.
 #pragma once
 
 #include <cstddef>

@@ -22,6 +22,7 @@
 #include "sim/simulator.hpp"
 #include "workload/circuits.hpp"
 #include "workload/edits.hpp"
+#include "workload/random_dfg.hpp"
 
 namespace mcfpga::cache {
 namespace {
@@ -37,6 +38,19 @@ arch::FabricSpec small_spec() {
 
 netlist::MultiContextNetlist four_context_workload(std::size_t width = 8) {
   return workload::pipeline_workload(4, width);
+}
+
+/// Four contexts with NO cross-context sharing: editing one context's
+/// logic cannot split a shared class, so a single-context edit leaves the
+/// clustering of every other context untouched.
+netlist::MultiContextNetlist unshared_workload() {
+  workload::RandomMultiContextParams params;
+  params.base.num_inputs = 6;
+  params.base.num_nodes = 16;
+  params.base.max_arity = 3;
+  params.base.seed = 77;
+  params.share_fraction = 0.0;
+  return workload::random_multi_context(params);
 }
 
 void expect_same_design(const core::CompiledDesign& a,
@@ -402,6 +416,92 @@ TEST(DeltaRecompile, RandomEditSequencesStayCorrectWithFullQoR) {
   }
   // The sequence must exercise the delta path, not just fall back.
   EXPECT_GT(deltas_taken, 0u);
+}
+
+TEST(DeltaRecompile, IncrementalProgramStageReusesRowsBitForBit) {
+  // The delta path's incremental ProgramStage copies cached bitstream
+  // rows for every switch and cluster the edit left alone, regenerating
+  // only the touched resources — and the assembled bitstream must equal a
+  // full recompile's bit for bit.
+  const auto nl = four_context_workload();
+  const auto spec = small_spec();
+  CompileService service;
+  const core::CompileOptions opts;
+  const Compiled base = service.compile(nl, spec, opts);
+
+  const auto edited = workload::retable_edit(nl, pick_lut_node(nl), 5);
+  const Compiled inc = service.compile_incremental(base, edited, opts);
+  ASSERT_TRUE(inc.design.cache.delta) << inc.design.cache.delta_fallback;
+  EXPECT_TRUE(inc.design.cache.delta_fallback.empty());  // no full reprogram
+  const core::CacheStats& cache = inc.design.cache;
+  EXPECT_GT(cache.program_rows_reused, 0u);
+  EXPECT_GT(cache.program_rows_reprogrammed, 0u);
+  // Every row is accounted exactly once.
+  EXPECT_EQ(cache.program_rows_reused + cache.program_rows_reprogrammed,
+            inc.design.full_bitstream.num_rows());
+  // A retable edit keeps the routing (all switch rows reuse) and touches
+  // a handful of clusters, so reuse dominates.
+  EXPECT_LT(cache.program_rows_reprogrammed, cache.program_rows_reused);
+
+  const core::CompiledDesign full = core::compile(edited, spec, opts);
+  EXPECT_EQ(config::to_text(full.full_bitstream),
+            config::to_text(inc.design.full_bitstream));
+  expect_functionally_correct(inc.design, edited);
+}
+
+TEST(DeltaRecompile, NegotiatedSingleContextEditTakesDeltaPath) {
+  // Negotiated (and interleaved) flows keep their delta path when the
+  // edit stays inside one context: every other context's negotiated trees
+  // match verbatim, so the bargain they struck survives the recompile.
+  const auto nl = unshared_workload();
+  const auto spec = small_spec();
+  for (const auto mode : {route::CrossContextMode::kNegotiated,
+                          route::CrossContextMode::kInterleaved}) {
+    CompileService service;
+    core::CompileOptions opts;
+    opts.router.cross_context_mode = mode;
+    const Compiled base = service.compile(nl, spec, opts);
+
+    netlist::MultiContextNetlist edited = nl;
+    edited.context(0) =
+        workload::retable_edit(nl, pick_lut_node(nl), 7).context(0);
+    const Compiled inc = service.compile_incremental(base, edited, opts);
+    EXPECT_TRUE(inc.design.cache.delta) << inc.design.cache.delta_fallback;
+    EXPECT_GT(inc.design.cache.program_rows_reused, 0u);
+
+    // A truth-table edit keeps every physical net, so the delta design
+    // equals a from-scratch negotiated compile bit for bit.
+    const core::CompiledDesign full = core::compile(edited, spec, opts);
+    expect_same_design(full, inc.design);
+    expect_functionally_correct(inc.design, edited);
+  }
+}
+
+TEST(DeltaRecompile, NegotiatedMultiContextEditFallsBack) {
+  // An edit spanning contexts would silently drop the cross-context
+  // bargain if the delta path re-routed without negotiation, so it takes
+  // the full pipeline with a dedicated fallback reason.
+  const auto nl = unshared_workload();
+  const auto spec = small_spec();
+  CompileService service;
+  core::CompileOptions opts;
+  opts.router.cross_context_mode = route::CrossContextMode::kNegotiated;
+  const Compiled base = service.compile(nl, spec, opts);
+
+  // retable_edit rewrites the node in EVERY context it exists in.
+  const auto edited = workload::retable_edit(nl, pick_lut_node(nl), 7);
+  const NetlistDiff diff = diff_netlists(nl, edited);
+  std::size_t touched = 0;
+  for (const std::size_t changed : diff.changed_per_context) {
+    touched += changed > 0 ? 1 : 0;
+  }
+  ASSERT_GE(touched, 2u);
+
+  const Compiled inc = service.compile_incremental(base, edited, opts);
+  EXPECT_FALSE(inc.design.cache.delta);
+  EXPECT_EQ(inc.design.cache.delta_fallback, "negotiated multi-context edit");
+  EXPECT_TRUE(inc.design.routing.success);
+  expect_functionally_correct(inc.design, edited);
 }
 
 TEST(DeltaRecompile, DeterministicForAnyWorkerCount) {

@@ -73,6 +73,26 @@ TEST(RouterOptionsValidation, RejectsBadCrossContextKnobs) {
   EXPECT_NO_THROW(o.validate());
 }
 
+TEST(RouterOptionsValidation, RejectsBadInterleaveKnobs) {
+  route::RouterOptions o;
+  o.interleave_waves = 0;  // the merged worklist needs at least one wave
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.interleave_crit_quantum = 0.0;  // priority buckets need positive width
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.interleave_crit_quantum = -0.25;
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.interleave_crit_quantum = 1.5;  // keys live in [0, 1]
+  EXPECT_THROW(o.validate(), InvalidArgument);
+  o = {};
+  o.cross_context_mode = route::CrossContextMode::kInterleaved;
+  o.interleave_waves = 3;
+  o.interleave_crit_quantum = 0.25;
+  EXPECT_NO_THROW(o.validate());
+}
+
 TEST(RouterOptionsValidation, RejectsBadEngineAndPressureKnobs) {
   route::RouterOptions o;
   o.pressure_ramp = -0.1;  // pressure may only grow round over round

@@ -26,7 +26,7 @@ namespace {
 std::vector<arch::NodeId> drain(BucketQueue& q) {
   std::vector<arch::NodeId> order;
   while (!q.empty()) {
-    order.push_back(q.pop().node);
+    order.push_back(q.pop().value);
   }
   return order;
 }
@@ -93,11 +93,11 @@ TEST(BucketQueue, MonotoneClampNeverDropsLateCheapPushes) {
   BucketQueue q;
   q.configure(1.0, 8);
   q.push(3.7, 1);
-  EXPECT_EQ(q.pop().node, 1u);  // cursor now at bucket 3
+  EXPECT_EQ(q.pop().value, 1u);  // cursor now at bucket 3
   // A push behind the cursor is filed into the current bucket instead of
   // a consumed one — still popped, never lost.
   q.push(1.2, 2);
-  EXPECT_EQ(q.pop().node, 2u);
+  EXPECT_EQ(q.pop().value, 2u);
   EXPECT_TRUE(q.empty());
 }
 
