@@ -27,15 +27,34 @@ import sys
 
 
 def load_log_entries(path):
-    """Parses BENCH_JSON lines into {(name, size): fields}."""
+    """Parses BENCH_JSON lines into {(name, size): fields}.
+
+    Duplicate (name, size) keys are a hard error: the guard would
+    otherwise silently compare only the LAST occurrence, letting the
+    earlier one drift unchecked (and a duplicate usually means two bench
+    sections emit under one name — a bug either way).
+    """
     entries = {}
+    duplicates = []
     with open(path, "r", encoding="utf-8") as f:
         for line in f:
             line = line.strip()
             if not line.startswith("BENCH_JSON "):
                 continue
             fields = json.loads(line[len("BENCH_JSON "):])
-            entries[(fields["name"], fields.get("size"))] = fields
+            key = (fields["name"], fields.get("size"))
+            if key in entries:
+                duplicates.append((key, entries[key], fields))
+            entries[key] = fields
+    if duplicates:
+        for key, first, second in duplicates:
+            print(f"bench_guard: duplicate BENCH_JSON entry "
+                  f"{key[0]}[size={key[1]}]:", file=sys.stderr)
+            print(f"  first:  {json.dumps(first, sort_keys=True)}",
+                  file=sys.stderr)
+            print(f"  second: {json.dumps(second, sort_keys=True)}",
+                  file=sys.stderr)
+        raise SystemExit(1)
     return entries
 
 

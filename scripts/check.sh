@@ -32,8 +32,17 @@ echo "--- bench smoke runs ---"
 "$BUILD_DIR"/bench_routing_delay --smoke | tee "$BUILD_DIR"/bench_routing_smoke.log
 "$BUILD_DIR"/bench_incremental --smoke | tee "$BUILD_DIR"/bench_incremental_smoke.log
 
+echo "--- compile daemon smoke (in-process: repeat hit + cancel + teardown) ---"
+# bench_serve starts an in-process daemon, runs the same job twice (the
+# second must be a pure cache hit, byte-identical to a direct compile),
+# cancels a queued job on a saturated daemon, and tears down cleanly;
+# its internal gates fail the lane on any wrong status or bitstream.
+"$BUILD_DIR"/bench_serve --smoke | tee "$BUILD_DIR"/bench_serve_smoke.log
+
 echo "--- bench regression guard ---"
 python3 scripts/bench_guard.py --baseline BENCH_ROUTING.json \
   --log "$BUILD_DIR"/bench_routing_smoke.log
 python3 scripts/bench_guard.py --baseline BENCH_INCREMENTAL.json \
   --log "$BUILD_DIR"/bench_incremental_smoke.log
+python3 scripts/bench_guard.py --baseline BENCH_SERVE.json \
+  --log "$BUILD_DIR"/bench_serve_smoke.log

@@ -27,6 +27,23 @@ void push_timing(core::FlowContext& ctx, const char* name,
       name, std::chrono::duration<double>(Clock::now() - start).count()});
 }
 
+/// The delta path's analogue of run_pipeline's observer protocol: check
+/// the budget before a manual stage block, report its wall clock after.
+void observe_start(core::StageObserver* observer, const char* stage) {
+  if (observer != nullptr && !observer->on_stage_start(stage)) {
+    throw FlowCancelled(std::string("compile abandoned before stage '") +
+                        stage + "'");
+  }
+}
+
+void observe_done(core::StageObserver* observer, const char* stage,
+                  Clock::time_point start) {
+  if (observer != nullptr) {
+    observer->on_stage_done(
+        stage, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+}
+
 /// Content hash of the effective placement problem: structure, weights,
 /// and the criticalities the flow would anneal under.  Placement is a
 /// pure function of (problem, grown fabric, placer options, seed), so
@@ -262,10 +279,12 @@ NetlistDiff diff_netlists(const netlist::MultiContextNetlist& before,
 
 Compiled CompileService::compile(const netlist::MultiContextNetlist& netlist,
                                  const arch::FabricSpec& spec,
-                                 const core::CompileOptions& options) {
+                                 const core::CompileOptions& options,
+                                 core::StageObserver* observer) {
   core::FlowContext ctx = core::make_flow_context(netlist, spec, options);
   cache_.attach(ctx);
-  const ArtifactCache::Counters before = cache_.artifacts().counters();
+  ctx.observer = observer;
+  const ArtifactCache::Counters before = cache_.stats().counters;
   core::run_pipeline(ctx, options.closure_iterations >= 2
                               ? core::closure_pipeline()
                               : core::default_pipeline());
@@ -282,29 +301,46 @@ Compiled CompileService::compile(const netlist::MultiContextNetlist& netlist,
 Compiled CompileService::fallback(const Compiled& previous,
                                   const netlist::MultiContextNetlist& edited,
                                   const core::CompileOptions& options,
-                                  const char* reason) {
-  Compiled full = compile(edited, previous.spec, options);
+                                  const char* reason,
+                                  core::StageObserver* observer) {
+  // Counted before the compile so fill_cache_stats (inside it) already
+  // sees this event in the breakdown it copies out.
+  count_fallback(reason);
+  Compiled full = compile(edited, previous.spec, options, observer);
   full.design.cache.delta_fallback = reason;
   return full;
 }
 
+void CompileService::count_fallback(const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(fallback_mu_);
+  ++fallback_reasons_[reason];
+}
+
+std::map<std::string, std::size_t> CompileService::fallback_reasons() const {
+  const std::lock_guard<std::mutex> lock(fallback_mu_);
+  return fallback_reasons_;
+}
+
 Compiled CompileService::compile_incremental(
     const Compiled& previous, const netlist::MultiContextNetlist& edited,
-    const core::CompileOptions& options) {
+    const core::CompileOptions& options, core::StageObserver* observer) {
   if (hash_compile_options(options) !=
       hash_compile_options(previous.options)) {
-    return fallback(previous, edited, options, "compile options changed");
+    return fallback(previous, edited, options, "compile options changed",
+                    observer);
   }
   if (options.closure_iterations >= 2) {
-    return fallback(previous, edited, options, "closure loop requested");
+    return fallback(previous, edited, options, "closure loop requested",
+                    observer);
   }
   const NetlistDiff diff = diff_netlists(previous.netlist, edited);
   if (diff.changed_nodes == 0) {
     // Bit-for-bit the previous design: let the stage cache replay it.
-    return compile(edited, previous.spec, options);
+    return compile(edited, previous.spec, options, observer);
   }
   if (diff.fraction() > options_.max_diff_fraction) {
-    return fallback(previous, edited, options, "diff exceeds threshold");
+    return fallback(previous, edited, options, "diff exceeds threshold",
+                    observer);
   }
   if (options.router.cross_context_mode != route::CrossContextMode::kOff) {
     // A cross-context-negotiated design keeps its delta path only when
@@ -319,7 +355,7 @@ Compiled CompileService::compile_incremental(
     }
     if (touched_contexts > 1) {
       return fallback(previous, edited, options,
-                      "negotiated multi-context edit");
+                      "negotiated multi-context edit", observer);
     }
   }
 
@@ -327,8 +363,8 @@ Compiled CompileService::compile_incremental(
   core::FlowContext ctx =
       core::make_flow_context(edited, previous.spec, options);
   cache_.attach(ctx);
-  const ArtifactCache::Counters counters_before =
-      cache_.artifacts().counters();
+  ctx.observer = observer;
+  const ArtifactCache::Counters counters_before = cache_.stats().counters;
   const auto& pipeline = core::default_pipeline();
   core::run_pipeline(
       ctx, std::vector<const core::Stage*>(pipeline.begin(),
@@ -339,17 +375,20 @@ Compiled CompileService::compile_incremental(
   ctx.cache_key_valid = false;
 
   // --- compatibility gates: the previous physical world must still fit --
+  observe_start(observer, "place");
   const Clock::time_point place_start = Clock::now();
   core::size_fabric_and_build_graph(ctx);
   if (ctx.spec.width != previous.design.fabric.width ||
       ctx.spec.height != previous.design.fabric.height) {
-    return fallback(previous, edited, options, "fabric resized");
+    return fallback(previous, edited, options, "fabric resized", observer);
   }
   if (ctx.clusters.size() != previous.design.placement.cluster_pos.size()) {
-    return fallback(previous, edited, options, "cluster count changed");
+    return fallback(previous, edited, options, "cluster count changed",
+                    observer);
   }
   if (ctx.num_terminals != previous.design.placement.io_pads.size()) {
-    return fallback(previous, edited, options, "terminal count changed");
+    return fallback(previous, edited, options, "terminal count changed",
+                    observer);
   }
 
   // --- placement: verbatim reuse or warm-start refine ---------------------
@@ -378,8 +417,10 @@ Compiled CompileService::compile_incremental(
                                         warm.sweeps * moves_per_sweep);
   }
   push_timing(ctx, "place", place_start);
+  observe_done(observer, "place", place_start);
 
   // --- routing: keep matching trees, rip up and re-route the rest --------
+  observe_start(observer, "route");
   const Clock::time_point route_start = Clock::now();
   core::FlowTiming ft = ctx.flow_timing ? std::move(*ctx.flow_timing)
                                         : core::build_flow_timing(ctx);
@@ -439,7 +480,8 @@ Compiled CompileService::compile_incremental(
       static_cast<double>(total_invalidated) >
           options_.max_invalidated_fraction *
               static_cast<double>(total_nets)) {
-    return fallback(previous, edited, options, "too many nets invalidated");
+    return fallback(previous, edited, options, "too many nets invalidated",
+                    observer);
   }
 
   // Single engine, contexts in order: deterministic regardless of any
@@ -511,7 +553,7 @@ Compiled CompileService::compile_incremental(
           nullptr, &pressure, nullptr);
       if (!pass.converged) {
         return fallback(previous, edited, options,
-                        "delta route did not converge");
+                        "delta route did not converge", observer);
       }
       r.iterations = pass.iterations;
       r.heap_pushes = pass.heap_pushes;
@@ -549,7 +591,7 @@ Compiled CompileService::compile_incremental(
             auto& slot = owner[static_cast<std::size_t>(node)];
             if (slot != -1 && slot != static_cast<std::int32_t>(i)) {
               return fallback(previous, edited, options,
-                              "kept/re-routed wire overlap");
+                              "kept/re-routed wire overlap", observer);
             }
             slot = static_cast<std::int32_t>(i);
           }
@@ -561,7 +603,9 @@ Compiled CompileService::compile_incremental(
   ctx.routing = route::merge_context_results(graph, std::move(results));
   MCFPGA_CHECK(ctx.routing.success, "delta merge lost convergence");
   push_timing(ctx, "route", route_start);
+  observe_done(observer, "route", route_start);
 
+  observe_start(observer, "timing");
   const Clock::time_point timing_start = Clock::now();
   core::TimingStage().run(ctx);
   for (std::size_t c = 0; c < n; ++c) {
@@ -569,11 +613,14 @@ Compiled CompileService::compile_incremental(
     ctx.context_stats[c].nets_rerouted = plans[c].invalid.size();
   }
   push_timing(ctx, "timing", timing_start);
+  observe_done(observer, "timing", timing_start);
 
+  observe_start(observer, "program");
   const Clock::time_point program_start = Clock::now();
   const ProgramDelta program_delta =
       run_program_incremental(ctx, previous.design);
   push_timing(ctx, "program", program_start);
+  observe_done(observer, "program", program_start);
 
   Compiled out;
   out.netlist = edited;
@@ -590,8 +637,10 @@ Compiled CompileService::compile_incremental(
   out.design.cache.program_rows_reprogrammed =
       program_delta.rows_reprogrammed;
   if (program_delta.full_reprogram) {
+    count_fallback("full reprogram: rows could not be aligned");
     out.design.cache.delta_fallback = "full reprogram: cached bitstream "
                                       "rows could not be aligned";
+    out.design.cache.delta_fallback_counts = fallback_reasons();
   }
   return out;
 }
@@ -599,12 +648,13 @@ Compiled CompileService::compile_incremental(
 void CompileService::fill_cache_stats(
     core::CompiledDesign& design,
     const ArtifactCache::Counters& before) const {
-  const ArtifactCache::Counters& now = cache_.artifacts().counters();
-  design.cache.hits = now.hits - before.hits;
-  design.cache.misses = now.misses - before.misses;
-  design.cache.evictions = now.evictions;
-  design.cache.interned_patterns = cache_.patterns().num_live();
-  design.cache.pattern_dedup_hits = cache_.patterns().dedup_hits();
+  const FlowCache::Stats now = cache_.stats();
+  design.cache.hits = now.counters.hits - before.hits;
+  design.cache.misses = now.counters.misses - before.misses;
+  design.cache.evictions = now.counters.evictions;
+  design.cache.interned_patterns = now.live_patterns;
+  design.cache.pattern_dedup_hits = now.pattern_dedup_hits;
+  design.cache.delta_fallback_counts = fallback_reasons();
 }
 
 }  // namespace mcfpga::cache

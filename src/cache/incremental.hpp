@@ -21,6 +21,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "cache/stage_cache.hpp"
@@ -79,37 +82,55 @@ struct Compiled {
   std::uint64_t placement_problem_hash = 0;
 };
 
+/// Thread safety: compile() and compile_incremental() may be called from
+/// several threads at once against one service (the serve daemon does) —
+/// the shared FlowCache serializes its own lookups/publishes, and the
+/// fallback-reason ledger has its own lock.  Results stay bit-identical
+/// to single-threaded calls because every compile is a pure function of
+/// its inputs and cache hits restore bit-identical snapshots.
 class CompileService {
  public:
   explicit CompileService(IncrementalOptions options = {})
       : options_(options), cache_(options.limits) {}
 
-  /// Full pipeline with the stage cache attached.
+  /// Full pipeline with the stage cache attached.  `observer` (optional,
+  /// not owned) sees every stage boundary: progress streaming plus
+  /// cooperative cancellation (core::StageObserver).
   Compiled compile(const netlist::MultiContextNetlist& netlist,
                    const arch::FabricSpec& spec,
-                   const core::CompileOptions& options = {});
+                   const core::CompileOptions& options = {},
+                   core::StageObserver* observer = nullptr);
 
   /// Delta recompile of `previous` under the edited netlist; `options`
   /// must match previous.options for the delta path to engage (any
-  /// difference falls back to a full cached compile).
+  /// difference falls back to a full cached compile).  The observer sees
+  /// the delta path's own place/route/timing/program blocks as stage
+  /// boundaries too, so cancellation and deadlines work on both paths.
   Compiled compile_incremental(const Compiled& previous,
                                const netlist::MultiContextNetlist& edited,
-                               const core::CompileOptions& options);
+                               const core::CompileOptions& options,
+                               core::StageObserver* observer = nullptr);
 
   const ArtifactCache& artifacts() const { return cache_.artifacts(); }
   const PatternInterner& patterns() const { return cache_.patterns(); }
   FlowCache& flow_cache() { return cache_; }
 
+  /// Service-lifetime delta-fallback breakdown (reason -> count).
+  std::map<std::string, std::size_t> fallback_reasons() const;
+
  private:
   Compiled fallback(const Compiled& previous,
                     const netlist::MultiContextNetlist& edited,
                     const core::CompileOptions& options,
-                    const char* reason);
+                    const char* reason, core::StageObserver* observer);
+  void count_fallback(const std::string& reason);
   void fill_cache_stats(core::CompiledDesign& design,
                         const ArtifactCache::Counters& before) const;
 
   IncrementalOptions options_;
   FlowCache cache_;
+  mutable std::mutex fallback_mu_;
+  std::map<std::string, std::size_t> fallback_reasons_;
 };
 
 }  // namespace mcfpga::cache

@@ -208,10 +208,23 @@ void FlowCache::attach(core::FlowContext& ctx) {
   ctx.cache_key_valid = true;
 }
 
+FlowCache::Stats FlowCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.counters = artifacts_.counters();
+  s.live_patterns = interner_.num_live();
+  s.pattern_dedup_hits = interner_.dedup_hits();
+  return s;
+}
+
 bool FlowCache::before_stage(const char* stage, core::FlowContext& ctx) {
   if (!ctx.cache_key_valid) {
     return false;
   }
+  // One lock over lookup + restore: restores copy out of shared_ptr
+  // snapshots and materialize patterns through the interner, both of
+  // which a concurrent publish could invalidate mid-read.
+  const std::lock_guard<std::mutex> lock(mu_);
   ctx.cache_key = stage_key(ctx.cache_key, stage);
   const std::uint64_t key = ctx.cache_key;
   const std::string_view name(stage);
@@ -310,6 +323,7 @@ void FlowCache::after_stage(const char* stage, core::FlowContext& ctx) {
   if (!ctx.cache_key_valid) {
     return;
   }
+  const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t key = ctx.cache_key;
   const std::string_view name(stage);
 

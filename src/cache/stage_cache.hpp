@@ -14,7 +14,16 @@
 // bitstream rows go through the PatternInterner, so a corpus of cached
 // designs stores each distinct ContextPattern once; artifacts hold
 // refcounted ids (PatternSet) and release them when evicted.
+//
+// Thread safety: the store and interner themselves are not thread-safe,
+// so FlowCache serializes every hook call (and the stats snapshot) behind
+// one mutex — that is what lets the serve daemon run concurrent compile
+// jobs against ONE shared cache.  Stage execution (the expensive part)
+// happens outside the hook, so jobs only contend on lookup/publish.
 #pragma once
+
+#include <cstddef>
+#include <mutex>
 
 #include "cache/artifact_cache.hpp"
 #include "core/stages.hpp"
@@ -32,12 +41,23 @@ class FlowCache : public core::StageCacheHook {
   bool before_stage(const char* stage, core::FlowContext& ctx) override;
   void after_stage(const char* stage, core::FlowContext& ctx) override;
 
+  /// Consistent locked snapshot of the store + interner counters, safe to
+  /// call while other threads compile (the accessors below are not).
+  struct Stats {
+    ArtifactCache::Counters counters;
+    std::size_t live_patterns = 0;
+    std::size_t pattern_dedup_hits = 0;
+  };
+  Stats stats() const;
+
+  /// Direct access for single-threaded callers (tests, benches).
   ArtifactCache& artifacts() { return artifacts_; }
   const ArtifactCache& artifacts() const { return artifacts_; }
   PatternInterner& patterns() { return interner_; }
   const PatternInterner& patterns() const { return interner_; }
 
  private:
+  mutable std::mutex mu_;
   // Declaration order is load-bearing: cached artifacts hold PatternSets
   // that release interner ids from their destructors, so the interner
   // must be destroyed AFTER the artifact store.

@@ -38,6 +38,16 @@ class FlowError : public Error {
   explicit FlowError(const std::string& what) : Error(what) {}
 };
 
+/// A compile was abandoned on purpose (job cancellation, deadline budget).
+/// Deliberately NOT a FlowError: callers that treat FlowError as "the
+/// design is infeasible" must not confuse it with "the caller asked us to
+/// stop" — the serve daemon catches this type to mark sessions
+/// Cancelled/Failed-by-deadline instead of compile-failed.
+class FlowCancelled : public Error {
+ public:
+  explicit FlowCancelled(const std::string& what) : Error(what) {}
+};
+
 }  // namespace mcfpga
 
 /// Precondition check that throws mcfpga::InvalidArgument with location info.

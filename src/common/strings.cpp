@@ -1,5 +1,7 @@
 #include "common/strings.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 
@@ -41,6 +43,62 @@ std::string pad_right(const std::string& s, std::size_t width) {
     return s;
   }
   return s + std::string(width - s.size(), ' ');
+}
+
+namespace {
+
+/// std::from_chars over the whole token: success iff every character was
+/// consumed and the value fit.  from_chars itself never skips whitespace
+/// and never accepts '+', which is exactly the strictness wanted here.
+template <typename T>
+bool from_chars_exact(std::string_view token, T& out) {
+  if (token.empty()) {
+    return false;
+  }
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  T value{};
+  const std::from_chars_result r = std::from_chars(first, last, value);
+  if (r.ec != std::errc{} || r.ptr != last) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool try_parse_u64(std::string_view token, std::uint64_t& out) {
+  // from_chars(unsigned) accepts a leading '-' on some inputs ("-0")
+  // via negation rules; rule any sign out explicitly.
+  if (token.empty() || token.front() == '-' || token.front() == '+') {
+    return false;
+  }
+  return from_chars_exact(token, out);
+}
+
+bool try_parse_i64(std::string_view token, std::int64_t& out) {
+  if (token.empty() || token.front() == '+') {
+    return false;
+  }
+  return from_chars_exact(token, out);
+}
+
+bool try_parse_double(std::string_view token, double& out) {
+  if (token.empty() || token.front() == '+') {
+    return false;
+  }
+  double value = 0.0;
+  if (!from_chars_exact(token, value)) {
+    return false;
+  }
+  // from_chars happily parses "inf"/"nan"; no text format in this repo
+  // has a legitimate non-finite field, so reject them at the seam.
+  if (!std::isfinite(value)) {
+    return false;
+  }
+  out = value;
+  return true;
 }
 
 std::string join(const std::vector<std::string>& parts,

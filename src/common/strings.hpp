@@ -1,9 +1,12 @@
 // Small string/format helpers (GCC 12 lacks std::format, so benches and
-// reports use these instead).
+// reports use these instead), plus the strict numeric token parsers every
+// text format in the tree uses.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mcfpga {
@@ -20,5 +23,21 @@ std::string pad_right(const std::string& s, std::size_t width);
 /// Joins parts with a separator.
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep);
+
+// --- strict numeric token parsing -------------------------------------------
+// Unlike istream extraction / std::sto*, these accept EXACTLY one complete
+// numeric token: no leading whitespace, no leading '+', no trailing
+// garbage ("12abc" is rejected, not parsed as 12), and overflow fails
+// instead of wrapping or saturating silently.  Parsers that own line
+// numbers (config/serialize, serve/protocol) call these and raise their
+// own line-numbered InvalidArgument on false.
+
+/// Decimal unsigned 64-bit: digits only.
+bool try_parse_u64(std::string_view token, std::uint64_t& out);
+/// Decimal signed 64-bit: optional leading '-', then digits.
+bool try_parse_i64(std::string_view token, std::int64_t& out);
+/// Finite decimal floating point (fixed or scientific); rejects
+/// inf/nan/hex forms.
+bool try_parse_double(std::string_view token, double& out);
 
 }  // namespace mcfpga

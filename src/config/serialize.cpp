@@ -1,10 +1,12 @@
 #include "config/serialize.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "config/context_id.hpp"
 
 namespace mcfpga::config {
@@ -12,6 +14,33 @@ namespace mcfpga::config {
 namespace {
 
 constexpr const char* kMagic = "mcfpga-bitstream v1";
+
+/// Strict counted-field parse: the token must be a complete decimal
+/// number (no sign, no trailing garbage, no overflow wrap — see
+/// common/strings.hpp).  `fail` is the format's line-numbered thrower.
+template <typename Fail>
+std::size_t parse_count(std::istream& ls, const char* what,
+                        std::size_t line, Fail&& fail) {
+  std::string token;
+  if (!(ls >> token)) {
+    fail(line, std::string("missing ") + what);
+  }
+  std::uint64_t value = 0;
+  if (!try_parse_u64(token, value) ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    fail(line, std::string("invalid ") + what + " '" + token + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Rejects trailing tokens so "contexts 4 junk" is an error, not noise.
+template <typename Fail>
+void expect_line_end(std::istream& ls, std::size_t line, Fail&& fail) {
+  std::string extra;
+  if (ls >> extra) {
+    fail(line, "unexpected trailing token '" + extra + "'");
+  }
+}
 
 ResourceKind parse_kind(const std::string& token, std::size_t line) {
   if (token == "routing-switch") {
@@ -66,9 +95,11 @@ Bitstream read_bitstream(std::istream& is) {
       fail(line_no, "missing 'contexts' line");
     }
     std::istringstream ls(line);
-    if (!(ls >> key >> num_contexts) || key != "contexts") {
+    if (!(ls >> key) || key != "contexts") {
       fail(line_no, "malformed 'contexts' line");
     }
+    num_contexts = parse_count(ls, "context count", line_no, fail);
+    expect_line_end(ls, line_no, fail);
   }
   if (!is_valid_context_count(num_contexts)) {
     fail(line_no, "invalid context count " + std::to_string(num_contexts));
@@ -82,9 +113,11 @@ Bitstream read_bitstream(std::istream& is) {
       fail(line_no, "missing 'rows' line");
     }
     std::istringstream ls(line);
-    if (!(ls >> key >> rows) || key != "rows") {
+    if (!(ls >> key) || key != "rows") {
       fail(line_no, "malformed 'rows' line");
     }
+    rows = parse_count(ls, "row count", line_no, fail);
+    expect_line_end(ls, line_no, fail);
   }
 
   Bitstream bs(num_contexts);
@@ -101,6 +134,7 @@ Bitstream read_bitstream(std::istream& is) {
     if (!(ls >> name >> kind >> bits)) {
       fail(line_no, "malformed row (need: name kind pattern)");
     }
+    expect_line_end(ls, line_no, fail);
     if (bits.size() != num_contexts) {
       fail(line_no, "pattern width " + std::to_string(bits.size()) +
                         " != contexts " + std::to_string(num_contexts));
@@ -205,7 +239,9 @@ netlist::MultiContextNetlist read_netlist(std::istream& is) {
   std::size_t num_contexts = 0;
   {
     std::istringstream ls = expect_line(is, line_no, "contexts");
-    if (!(ls >> num_contexts) || num_contexts == 0) {
+    num_contexts = parse_count(ls, "context count", line_no, nfail);
+    expect_line_end(ls, line_no, nfail);
+    if (num_contexts == 0) {
       nfail(line_no, "malformed 'contexts' line");
     }
   }
@@ -214,17 +250,18 @@ netlist::MultiContextNetlist read_netlist(std::istream& is) {
   for (std::size_t c = 0; c < num_contexts; ++c) {
     {
       std::istringstream ls = expect_line(is, line_no, "context");
-      std::size_t got = 0;
-      if (!(ls >> got) || got != c) {
+      const std::size_t got =
+          parse_count(ls, "context index", line_no, nfail);
+      expect_line_end(ls, line_no, nfail);
+      if (got != c) {
         nfail(line_no, "expected 'context " + std::to_string(c) + "'");
       }
     }
     std::size_t num_nodes = 0;
     {
       std::istringstream ls = expect_line(is, line_no, "nodes");
-      if (!(ls >> num_nodes)) {
-        nfail(line_no, "malformed 'nodes' line");
-      }
+      num_nodes = parse_count(ls, "node count", line_no, nfail);
+      expect_line_end(ls, line_no, nfail);
     }
     netlist::Dfg& dfg = result.context(c);
     for (std::size_t i = 0; i < num_nodes; ++i) {
@@ -239,27 +276,31 @@ netlist::MultiContextNetlist read_netlist(std::istream& is) {
         nfail(line_no, "malformed node line");
       }
       if (kind == "in") {
+        expect_line_end(ls, line_no, nfail);
         dfg.add_input(std::move(name));
         continue;
       }
       if (kind != "lut") {
         nfail(line_no, "unknown node kind '" + kind + "'");
       }
-      std::size_t arity = 0;
-      if (!(ls >> arity)) {
-        nfail(line_no, "malformed lut arity");
+      const std::size_t arity = parse_count(ls, "lut arity", line_no, nfail);
+      if (arity >= 8 * sizeof(std::size_t)) {
+        nfail(line_no, "lut arity " + std::to_string(arity) + " too large");
       }
       std::vector<netlist::NodeRef> fanins(arity);
       for (std::size_t k = 0; k < arity; ++k) {
-        if (!(ls >> fanins[k]) || fanins[k] < 0 ||
-            static_cast<std::size_t>(fanins[k]) >= i) {
+        const std::size_t fanin =
+            parse_count(ls, "lut fanin", line_no, nfail);
+        if (fanin >= i) {
           nfail(line_no, "lut fanin out of range");
         }
+        fanins[k] = static_cast<netlist::NodeRef>(fanin);
       }
       std::string bits;
       if (!(ls >> bits) || bits.size() != (std::size_t{1} << arity)) {
         nfail(line_no, "truth table must have 2^arity bits");
       }
+      expect_line_end(ls, line_no, nfail);
       for (const char b : bits) {
         if (b != '0' && b != '1') {
           nfail(line_no, "truth table must be over {0,1}");
@@ -275,9 +316,8 @@ netlist::MultiContextNetlist read_netlist(std::istream& is) {
     std::size_t num_outputs = 0;
     {
       std::istringstream ls = expect_line(is, line_no, "outputs");
-      if (!(ls >> num_outputs)) {
-        nfail(line_no, "malformed 'outputs' line");
-      }
+      num_outputs = parse_count(ls, "output count", line_no, nfail);
+      expect_line_end(ls, line_no, nfail);
     }
     for (std::size_t i = 0; i < num_outputs; ++i) {
       ++line_no;
@@ -287,15 +327,20 @@ netlist::MultiContextNetlist read_netlist(std::istream& is) {
       }
       std::istringstream ls(line);
       std::string key;
-      netlist::NodeRef node = netlist::kNoNode;
-      std::string name;
-      if (!(ls >> key >> node >> name) || key != "out") {
+      if (!(ls >> key) || key != "out") {
         nfail(line_no, "malformed 'out' line");
       }
-      if (node < 0 || static_cast<std::size_t>(node) >= num_nodes) {
+      const std::size_t node =
+          parse_count(ls, "output node", line_no, nfail);
+      std::string name;
+      if (!(ls >> name)) {
+        nfail(line_no, "malformed 'out' line");
+      }
+      expect_line_end(ls, line_no, nfail);
+      if (node >= num_nodes) {
         nfail(line_no, "output node out of range");
       }
-      dfg.mark_output(node, std::move(name));
+      dfg.mark_output(static_cast<netlist::NodeRef>(node), std::move(name));
     }
   }
   return result;

@@ -143,6 +143,13 @@ struct CacheStats {
   /// Why a compile_incremental call fell back to the full pipeline
   /// (empty = no fallback).
   std::string delta_fallback;
+  /// Service-lifetime fallback breakdown: reason -> times a delta
+  /// recompile degraded to a full compile for it (accumulated by
+  /// cache::CompileService across every compile_incremental call, so
+  /// operators can see WHY the delta path keeps bailing, e.g.
+  /// "negotiated multi-context edit" dominating).  Printed by
+  /// core/report; empty when the service never fell back.
+  std::map<std::string, std::size_t> delta_fallback_counts;
 };
 
 /// Wall-clock of one pipeline stage (filled by run_pipeline).  Names

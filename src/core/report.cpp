@@ -70,7 +70,7 @@ void print_design_report(std::ostream& os, const CompiledDesign& design) {
 
   const CacheStats& cs = design.cache;
   if (cs.hits + cs.misses + cs.evictions != 0 || cs.delta ||
-      !cs.delta_fallback.empty()) {
+      !cs.delta_fallback.empty() || !cs.delta_fallback_counts.empty()) {
     Table cache({"stage cache", "value"});
     cache.add_row({"stage hits", fmt_count(cs.hits)});
     cache.add_row({"stage misses", fmt_count(cs.misses)});
@@ -85,6 +85,11 @@ void print_design_report(std::ostream& os, const CompiledDesign& design) {
     }
     if (!cs.delta_fallback.empty()) {
       cache.add_row({"delta fallback", cs.delta_fallback});
+    }
+    // Per-reason breakdown over the service's lifetime, so a fleet of
+    // delta recompiles that keeps degrading to full compiles says why.
+    for (const auto& [reason, count] : cs.delta_fallback_counts) {
+      cache.add_row({"fallbacks: " + reason, fmt_count(count)});
     }
     cache.print(os);
   }

@@ -618,6 +618,11 @@ void run_pipeline(FlowContext& ctx,
                   const std::vector<const Stage*>& stages) {
   using clock = std::chrono::steady_clock;
   for (const Stage* stage : stages) {
+    if (ctx.observer != nullptr &&
+        !ctx.observer->on_stage_start(stage->name())) {
+      throw FlowCancelled(std::string("compile abandoned before stage '") +
+                          stage->name() + "'");
+    }
     const auto start = clock::now();
     // The cache hook may satisfy the whole stage from stored artifacts;
     // only a miss runs the stage and publishes what it computed.
@@ -631,6 +636,9 @@ void run_pipeline(FlowContext& ctx,
     }
     const std::chrono::duration<double> elapsed = clock::now() - start;
     ctx.stage_timings.push_back(StageTiming{stage->name(), elapsed.count()});
+    if (ctx.observer != nullptr) {
+      ctx.observer->on_stage_done(stage->name(), elapsed.count());
+    }
   }
 }
 

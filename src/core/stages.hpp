@@ -82,6 +82,23 @@ class StageCacheHook {
   virtual void after_stage(const char* stage, FlowContext& ctx) = 0;
 };
 
+/// Stage-boundary observer: progress streaming plus cooperative
+/// cancellation / deadline budgets for long-running services
+/// (serve/daemon).  run_pipeline() — and the delta-recompile driver's
+/// manual stage blocks — consult it around every stage; returning false
+/// from on_stage_start aborts the flow with FlowCancelled, which is the
+/// ONLY way a compile stops early, so a job can never be killed halfway
+/// through mutating shared state.
+class StageObserver {
+ public:
+  virtual ~StageObserver() = default;
+  /// Called before each stage runs (cache hit or miss).  Return false to
+  /// abandon the flow (run_pipeline throws FlowCancelled).
+  virtual bool on_stage_start(const char* stage) = 0;
+  /// Called after each stage with its wall-clock seconds.
+  virtual void on_stage_done(const char* stage, double seconds) = 0;
+};
+
 /// Carries all intermediate artifacts of one compilation.
 struct FlowContext {
   // --- inputs -------------------------------------------------------------
@@ -165,6 +182,8 @@ struct FlowContext {
   // --- stage cache (src/cache/) -------------------------------------------
   /// Not owned; null = uncached compile (the default for compile()).
   StageCacheHook* cache = nullptr;
+  /// Not owned; null = no progress/cancellation hooks (the default).
+  StageObserver* observer = nullptr;
   /// Rolling per-stage content key (cache/key.hpp chain), maintained by
   /// the hook; meaningless while cache_key_valid is false.
   std::uint64_t cache_key = 0;

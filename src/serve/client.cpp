@@ -1,0 +1,49 @@
+#include "serve/client.hpp"
+
+#include "common/error.hpp"
+#include "config/serialize.hpp"
+
+namespace mcfpga::serve {
+
+CompileRequest ServeClient::make_request(
+    const std::string& job, const netlist::MultiContextNetlist& netlist,
+    const arch::FabricSpec& fabric, const core::CompileOptions& options,
+    std::uint64_t deadline_ms, const std::string& base_job) {
+  CompileRequest request;
+  request.job = job;
+  request.deadline_ms = deadline_ms;
+  request.base_job = base_job;
+  request.fabric = fabric;
+  request.options = options;
+  request.netlist_text = config::netlist_to_text(netlist);
+  return request;
+}
+
+std::uint64_t ServeClient::submit(const CompileRequest& request) {
+  return daemon_.submit_frame(request_frame(request));
+}
+
+ServeClient::Outcome ServeClient::wait(std::uint64_t job_id) {
+  Outcome outcome;
+  bool saw_reply = false;
+  for (const std::string& bytes : daemon_.wait(job_id)) {
+    const Frame frame = frame_from_bytes(bytes);
+    switch (frame.type) {
+      case FrameType::kProgress:
+        MCFPGA_REQUIRE(!saw_reply, "progress frame after the reply");
+        outcome.progress.push_back(decode_progress(frame.payload));
+        break;
+      case FrameType::kReply:
+        MCFPGA_REQUIRE(!saw_reply, "more than one reply frame");
+        outcome.reply = decode_reply(frame.payload);
+        saw_reply = true;
+        break;
+      default:
+        throw InvalidArgument("unexpected frame type in job stream");
+    }
+  }
+  MCFPGA_REQUIRE(saw_reply, "job stream carried no reply frame");
+  return outcome;
+}
+
+}  // namespace mcfpga::serve

@@ -1,0 +1,51 @@
+// In-process client of the compile daemon.
+//
+// ServeClient speaks the real wire protocol — it encodes every request
+// into a length-prefixed frame and decodes every progress/reply frame the
+// daemon streamed back — but hands the bytes to the daemon directly
+// instead of over a socket.  That exercises the complete encode -> frame
+// -> decode path (including the strict numeric parsing on both sides)
+// without any networking, which keeps the protocol tests hermetic and
+// fast; a real transport would only move the same byte strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+
+namespace mcfpga::serve {
+
+class ServeClient {
+ public:
+  explicit ServeClient(CompileDaemon& daemon) : daemon_(daemon) {}
+
+  /// Convenience: builds a CompileRequest with the netlist serialized to
+  /// its canonical text (config/serialize.hpp).
+  static CompileRequest make_request(
+      const std::string& job, const netlist::MultiContextNetlist& netlist,
+      const arch::FabricSpec& fabric,
+      const core::CompileOptions& options = {},
+      std::uint64_t deadline_ms = 0, const std::string& base_job = {});
+
+  /// Encodes + submits; throws InvalidArgument on anything the daemon
+  /// rejects at submit time (malformed request, stopped daemon).
+  std::uint64_t submit(const CompileRequest& request);
+
+  struct Outcome {
+    CompileReply reply;
+    std::vector<ProgressEvent> progress;  ///< In stage-completion order.
+  };
+
+  /// Blocks until the job is terminal, then decodes its frame stream.
+  Outcome wait(std::uint64_t job_id);
+
+  bool cancel(std::uint64_t job_id) { return daemon_.cancel(job_id); }
+
+ private:
+  CompileDaemon& daemon_;
+};
+
+}  // namespace mcfpga::serve

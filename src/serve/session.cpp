@@ -1,0 +1,132 @@
+#include "serve/session.hpp"
+
+namespace mcfpga::serve {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle:
+      return "idle";
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kStreaming:
+      return "streaming";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kSubmit:
+      return "submit";
+    case SessionEvent::kStart:
+      return "start";
+    case SessionEvent::kProgress:
+      return "progress";
+    case SessionEvent::kFinish:
+      return "finish";
+    case SessionEvent::kCancel:
+      return "cancel";
+    case SessionEvent::kDeadline:
+      return "deadline";
+    case SessionEvent::kFail:
+      return "fail";
+  }
+  return "?";
+}
+
+FsmResult SessionFsm::handle(SessionEvent event) {
+  switch (state_) {
+    case SessionState::kIdle:
+      return handle_idle(event);
+    case SessionState::kQueued:
+      return handle_queued(event);
+    case SessionState::kRunning:
+      return handle_running(event);
+    case SessionState::kStreaming:
+      return handle_streaming(event);
+    case SessionState::kDone:
+    case SessionState::kCancelled:
+    case SessionState::kFailed:
+      return handle_terminal(event);
+  }
+  return reject(event);
+}
+
+FsmResult SessionFsm::handle_idle(SessionEvent event) {
+  if (event == SessionEvent::kSubmit) {
+    return accept(SessionState::kQueued);
+  }
+  return reject(event);
+}
+
+FsmResult SessionFsm::handle_queued(SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kStart:
+      return accept(SessionState::kRunning);
+    case SessionEvent::kCancel:
+      return accept(SessionState::kCancelled);
+    // A job can miss its whole budget while queued behind other jobs, and
+    // a decode/setup error can fail it before any worker touches it.
+    case SessionEvent::kDeadline:
+    case SessionEvent::kFail:
+      return accept(SessionState::kFailed);
+    default:
+      return reject(event);
+  }
+}
+
+FsmResult SessionFsm::handle_running(SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kProgress:
+      return accept(SessionState::kStreaming);
+    case SessionEvent::kFinish:
+      return accept(SessionState::kDone);
+    case SessionEvent::kCancel:
+      return accept(SessionState::kCancelled);
+    case SessionEvent::kDeadline:
+    case SessionEvent::kFail:
+      return accept(SessionState::kFailed);
+    default:
+      return reject(event);
+  }
+}
+
+FsmResult SessionFsm::handle_streaming(SessionEvent event) {
+  if (event == SessionEvent::kProgress) {
+    return accept(SessionState::kStreaming);  // self-loop per stage tick
+  }
+  return handle_running(event);  // otherwise same policy as Running
+}
+
+FsmResult SessionFsm::handle_terminal(SessionEvent event) {
+  return reject(event);
+}
+
+FsmResult SessionFsm::accept(SessionState to) {
+  FsmResult r;
+  r.accepted = true;
+  r.from = state_;
+  r.to = to;
+  state_ = to;
+  return r;
+}
+
+FsmResult SessionFsm::reject(SessionEvent event) const {
+  FsmResult r;
+  r.accepted = false;
+  r.from = state_;
+  r.to = state_;
+  r.reject_reason = std::string("event '") + to_string(event) +
+                    "' rejected in state '" + to_string(state_) + "'";
+  return r;
+}
+
+}  // namespace mcfpga::serve

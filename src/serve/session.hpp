@@ -1,0 +1,94 @@
+// Per-job finite-state machine of the compile daemon.
+//
+// Every submitted job owns one Session whose lifecycle is an explicit FSM
+// with per-state handlers — no implicit state in scattered booleans, so
+// the whole transition table is unit-testable without sockets or threads
+// (tests/test_serve.cpp drives every event in every state):
+//
+//            Submit          Start            Progress
+//   [Idle] --------> [Queued] -----> [Running] --------> [Streaming] --.
+//                       |               |  \                 ^  |      |
+//                       | Cancel        |   \ Finish         '--' Progress
+//                       v               |    v    Finish               |
+//                  [Cancelled] <--------+  [Done] <--------------------+
+//                       ^        Cancel |                              |
+//                       |               | Fail/Deadline   Fail/Cancel/ |
+//                       |               v                 Deadline     |
+//                       '----------  [Failed] <------------------------'
+//
+//   - Deadline maps to Failed (the job missed its budget — an error the
+//     client asked for), Cancel to Cancelled (the client changed its
+//     mind); both are cooperative, observed at stage boundaries.
+//   - Done / Cancelled / Failed are terminal: every event is rejected
+//     with a reason, which is how the daemon surfaces races like
+//     "cancel arrived after the job finished" without crashing.
+//
+// handle() returns an FsmResult rather than throwing: rejected events are
+// an expected part of daemon operation, not programming errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcfpga::serve {
+
+enum class SessionState : std::uint8_t {
+  kIdle,       ///< Created, not yet submitted to the worker pool.
+  kQueued,     ///< In the pool's queue, no worker picked it up yet.
+  kRunning,    ///< A worker is compiling; no progress streamed yet.
+  kStreaming,  ///< Compiling and at least one progress frame streamed.
+  kDone,       ///< Terminal: reply frame carries the bitstream.
+  kCancelled,  ///< Terminal: client cancelled before completion.
+  kFailed,     ///< Terminal: compile error or deadline exceeded.
+};
+
+enum class SessionEvent : std::uint8_t {
+  kSubmit,    ///< Accepted into the daemon's queue.
+  kStart,     ///< A worker began the compile.
+  kProgress,  ///< A stage finished; a progress frame was streamed.
+  kFinish,    ///< Compile completed; reply ready.
+  kCancel,    ///< Client-requested cancellation took effect.
+  kDeadline,  ///< The stage-boundary deadline budget expired.
+  kFail,      ///< The compile threw.
+};
+
+const char* to_string(SessionState state);
+const char* to_string(SessionEvent event);
+
+/// Outcome of feeding one event to the FSM.
+struct FsmResult {
+  bool accepted = false;
+  SessionState from = SessionState::kIdle;
+  SessionState to = SessionState::kIdle;  ///< == from when rejected.
+  std::string reject_reason;              ///< Non-empty iff rejected.
+};
+
+class SessionFsm {
+ public:
+  SessionState state() const { return state_; }
+  bool terminal() const {
+    return state_ == SessionState::kDone ||
+           state_ == SessionState::kCancelled ||
+           state_ == SessionState::kFailed;
+  }
+
+  /// Applies `event`: moves to the table's target state and accepts, or
+  /// stays put and rejects with a reason.
+  FsmResult handle(SessionEvent event);
+
+ private:
+  // One handler per state keeps each state's accept/reject policy in one
+  // place (the pppcpd PPP_FSM shape).
+  FsmResult handle_idle(SessionEvent event);
+  FsmResult handle_queued(SessionEvent event);
+  FsmResult handle_running(SessionEvent event);
+  FsmResult handle_streaming(SessionEvent event);
+  FsmResult handle_terminal(SessionEvent event);
+
+  FsmResult accept(SessionState to);
+  FsmResult reject(SessionEvent event) const;
+
+  SessionState state_ = SessionState::kIdle;
+};
+
+}  // namespace mcfpga::serve

@@ -2,12 +2,18 @@
 // and the stable FNV-1a/64 content hashing behind the stage cache.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/bitvector.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -289,6 +295,109 @@ TEST(Hasher, DistinguishesValueTypes) {
             common::Hasher().f64(0.0).digest());
   EXPECT_NE(common::Hasher().bits(BitVector::from_string("00")).digest(),
             common::Hasher().bits(BitVector::from_string("000")).digest());
+}
+
+// --- Strict numeric parsing (the checked helpers every line-oriented
+// parser in config/serialize and serve/protocol routes numbers through).
+
+TEST(Strings, TryParseU64AcceptsExactTokens) {
+  std::uint64_t v = 1;
+  EXPECT_TRUE(try_parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(try_parse_u64("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(try_parse_u64("18446744073709551615", v));  // u64 max
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(Strings, TryParseU64RejectsNonExactTokens) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(try_parse_u64("", v));
+  EXPECT_FALSE(try_parse_u64("12abc", v));    // trailing garbage
+  EXPECT_FALSE(try_parse_u64("+4", v));       // explicit sign
+  EXPECT_FALSE(try_parse_u64("-1", v));       // negative
+  EXPECT_FALSE(try_parse_u64(" 7", v));       // leading whitespace
+  EXPECT_FALSE(try_parse_u64("7 ", v));       // trailing whitespace
+  EXPECT_FALSE(try_parse_u64("0x10", v));     // no hex
+  EXPECT_FALSE(try_parse_u64("1e3", v));      // no exponent form
+  EXPECT_FALSE(try_parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(try_parse_u64("99999999999999999999", v));  // way over
+}
+
+TEST(Strings, TryParseI64Bounds) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(try_parse_i64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(try_parse_i64("9223372036854775807", v));
+  EXPECT_TRUE(try_parse_i64("-9223372036854775808", v));
+  EXPECT_FALSE(try_parse_i64("9223372036854775808", v));   // overflow
+  EXPECT_FALSE(try_parse_i64("-9223372036854775809", v));  // underflow
+  EXPECT_FALSE(try_parse_i64("+1", v));
+  EXPECT_FALSE(try_parse_i64("1.5", v));
+}
+
+TEST(Strings, TryParseDoubleStrictness) {
+  double v = 0.0;
+  EXPECT_TRUE(try_parse_double("0.5", v));
+  EXPECT_EQ(v, 0.5);
+  EXPECT_TRUE(try_parse_double("-12.625", v));
+  EXPECT_EQ(v, -12.625);
+  EXPECT_TRUE(try_parse_double("1e3", v));
+  EXPECT_EQ(v, 1000.0);
+  EXPECT_FALSE(try_parse_double("", v));
+  EXPECT_FALSE(try_parse_double("1.5x", v));
+  EXPECT_FALSE(try_parse_double("+1.5", v));
+  EXPECT_FALSE(try_parse_double(" 1.5", v));
+  EXPECT_FALSE(try_parse_double("nan", v));  // non-finite rejected
+  EXPECT_FALSE(try_parse_double("inf", v));
+  EXPECT_FALSE(try_parse_double("1e999", v));  // overflows to infinity
+}
+
+// --- WorkerPool (the serve daemon's execution substrate).
+
+TEST(WorkerPool, RunsEverySubmittedTaskExactlyOnce) {
+  std::atomic<int> runs{0};
+  {
+    WorkerPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&runs] { runs.fetch_add(1); });
+    }
+    pool.shutdown();  // drains before joining
+    EXPECT_EQ(runs.load(), 64);
+    pool.shutdown();  // idempotent
+  }
+  EXPECT_EQ(runs.load(), 64);
+}
+
+TEST(WorkerPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> runs{0};
+  WorkerPool pool(1);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&runs] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      runs.fetch_add(1);
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(runs.load(), 16);
+  EXPECT_THROW(pool.submit([] {}), InvalidArgument);
+}
+
+TEST(WorkerPool, TasksSubmittedFromTasksStillRun) {
+  // A task may enqueue follow-up work (the daemon never does, but the
+  // pool's contract should not silently forbid it).
+  std::atomic<int> runs{0};
+  WorkerPool pool(2);
+  std::promise<void> inner_done;
+  pool.submit([&] {
+    pool.submit([&] {
+      runs.fetch_add(1);
+      inner_done.set_value();
+    });
+  });
+  inner_done.get_future().wait();
+  EXPECT_EQ(runs.load(), 1);
+  pool.shutdown();
 }
 
 }  // namespace

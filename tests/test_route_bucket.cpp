@@ -7,11 +7,14 @@
 // on, and kBinaryHeap's identity with the pre-option default engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "arch/routing_graph.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/flow.hpp"
 #include "route/bucket_queue.hpp"
 #include "route/router.hpp"
@@ -308,6 +311,155 @@ TEST(BucketEngine, BinaryHeapModeMatchesDefault) {
   // A warm pool (second route over the same cores) stays identical too.
   expect_same_routing(implicit,
                       router.route(nets, nullptr, nullptr, nullptr, &pool));
+}
+
+// --- CalendarQueue fuzz: span boundaries, rebase cycles, FIFO --------------
+
+/// Reference model of the queue's contract, used as the fuzz oracle:
+/// priority = quantized cost clamped to the monotone floor (the priority
+/// of the most recent pop), minimum priority pops first, FIFO within a
+/// priority.  O(n) pops — fine at test sizes.
+class ReferenceCalendar {
+ public:
+  explicit ReferenceCalendar(double quantum) : inv_quantum_(1.0 / quantum) {}
+
+  void push(double cost, arch::NodeId value) {
+    // Same expression as CalendarQueue::quantize, so the model cannot
+    // disagree with the queue over floating-point rounding.
+    std::uint64_t q =
+        cost > 0.0 ? static_cast<std::uint64_t>(cost * inv_quantum_) : 0;
+    q = std::max(q, floor_);
+    items_.push_back(Entry{q, seq_++, value});
+  }
+
+  bool empty() const { return items_.empty(); }
+
+  arch::NodeId pop() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (items_[i].prio < items_[best].prio ||
+          (items_[i].prio == items_[best].prio &&
+           items_[i].seq < items_[best].seq)) {
+        best = i;
+      }
+    }
+    floor_ = items_[best].prio;
+    const arch::NodeId value = items_[best].value;
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(best));
+    return value;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t prio;
+    std::uint64_t seq;
+    arch::NodeId value;
+  };
+  double inv_quantum_;
+  std::uint64_t floor_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<Entry> items_;
+};
+
+TEST(BucketQueue, ItemsExactlyAtBucketSpanOverflow) {
+  // quantum 0.5, span 4: quantized cost 3 is the last calendar bucket,
+  // quantized cost 4 (== span, cost 2.0 exactly) must take the overflow
+  // list and come back via rebase — in push order and after everything
+  // the calendar held.
+  BucketQueue q;
+  q.configure(0.5, 4);
+  q.push(2.0, 1);    // q=4: exactly at span -> overflow
+  q.push(1.999, 2);  // q=3: last calendar bucket
+  q.push(0.0, 3);    // q=0
+  q.push(2.0, 4);    // q=4: overflow, after 1
+  q.push(3.7, 5);    // q=7: overflow
+  EXPECT_EQ(drain(q), (std::vector<arch::NodeId>{3, 2, 1, 4, 5}));
+}
+
+TEST(BucketQueue, ZeroCostSeedsAfterRebaseClampToTheFloor) {
+  // After a rebase onto a far-away overflow cost, zero-cost pushes (the
+  // committed-tree seeds of the next expansion) must clamp to the new
+  // floor instead of filing behind the pop cursor — and stay FIFO both
+  // among themselves and against later same-bucket pushes.
+  BucketQueue q;
+  q.configure(0.5, 4);
+  q.push(10.0, 1);  // q=20: overflow
+  q.push(0.1, 2);   // q=0
+  EXPECT_EQ(q.pop().value, 2);
+  EXPECT_EQ(q.pop().value, 1);  // calendar drained -> rebase to base 20
+  q.push(0.0, 3);               // clamps to the floor (q=20)
+  q.push(0.0, 4);
+  q.push(0.2, 5);  // also clamps
+  q.push(10.3, 6);  // q=20 naturally: same bucket, FIFO after the clamps
+  EXPECT_EQ(drain(q), (std::vector<arch::NodeId>{3, 4, 5, 6}));
+}
+
+TEST(BucketQueue, RepeatedDrainRebaseCyclesStayFifo) {
+  // Maze expansion waves: each round's costs live far beyond the span,
+  // forcing one rebase per round; order within and across rounds must
+  // stay (quantized cost, push order).
+  BucketQueue q;
+  q.configure(0.5, 4);
+  arch::NodeId id = 0;
+  for (int round = 0; round < 5; ++round) {
+    const double base_cost = 10.0 * (round + 1);
+    std::vector<arch::NodeId> want;
+    q.push(base_cost + 0.6, id);  // second bucket of the round
+    const arch::NodeId late = id++;
+    for (int i = 0; i < 3; ++i) {
+      q.push(base_cost, id);  // three FIFO ties in the round's first bucket
+      want.push_back(id++);
+    }
+    want.push_back(late);
+    std::vector<arch::NodeId> got;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      got.push_back(q.pop().value);
+    }
+    EXPECT_EQ(got, want) << "round " << round;
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(BucketQueue, FuzzMatchesReferenceModel) {
+  // Random interleavings of pushes (costs spanning several calendar
+  // windows, so overflow and rebase fire constantly) and pops, checked
+  // item-by-item against the reference model.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    BucketQueue q;
+    q.configure(0.5, 8);  // tiny span: quantized costs reach 4x past it
+    ReferenceCalendar ref(0.5);
+    arch::NodeId next_value = 0;
+    for (int op = 0; op < 2000; ++op) {
+      if (q.empty() || rng.next_double() < 0.6) {
+        // Mix boundary-exact costs (multiples of the quantum, including
+        // exactly span * quantum) with arbitrary ones and zero seeds.
+        double cost = 0.0;
+        switch (rng.next_below(3)) {
+          case 0:
+            cost = 0.5 * static_cast<double>(rng.next_below(33));
+            break;
+          case 1:
+            cost = 16.0 * rng.next_double();
+            break;
+          default:
+            cost = 0.0;
+            break;
+        }
+        q.push(cost, next_value);
+        ref.push(cost, next_value);
+        ++next_value;
+      } else {
+        ASSERT_FALSE(ref.empty());
+        EXPECT_EQ(q.pop().value, ref.pop()) << "seed " << seed;
+      }
+    }
+    while (!q.empty()) {
+      ASSERT_FALSE(ref.empty());
+      EXPECT_EQ(q.pop().value, ref.pop()) << "seed " << seed;
+    }
+    EXPECT_TRUE(ref.empty());
+  }
 }
 
 }  // namespace

@@ -223,5 +223,78 @@ TEST(NetlistSerialize, ErrorsCarryLineNumbers) {
   }
 }
 
+// --- Strict numeric parsing: every count/index goes through the checked
+// helpers (common/strings.hpp), so trailing garbage, signs, overflow,
+// and trailing tokens are all line-numbered errors instead of whatever
+// `istream >> size_t` happened to produce.
+
+/// Expects `text` to be rejected with the given line number in the error.
+void expect_rejected_at(const std::string& text, const std::string& line_tag,
+                        bool bitstream = false) {
+  try {
+    if (bitstream) {
+      from_text(text);
+    } else {
+      netlist_from_text(text);
+    }
+    FAIL() << "accepted: " << text;
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+        << e.what() << "\nfor input: " << text;
+  }
+}
+
+TEST(NetlistSerialize, RejectsMalformedNumericFixtures) {
+  // Trailing garbage on a count.
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 12abc\n", "line 2");
+  // Explicit '+' (istream would silently accept it).
+  expect_rejected_at("mcfpga-netlist v1\ncontexts +1\n", "line 2");
+  // Negative where unsigned is required (istream wraps it around).
+  expect_rejected_at("mcfpga-netlist v1\ncontexts -1\n", "line 2");
+  // Overflow past u64 (istream clamps; strict parsing rejects).
+  expect_rejected_at(
+      "mcfpga-netlist v1\ncontexts 99999999999999999999\n", "line 2");
+  // Node count and LUT arity/fanin lines.
+  expect_rejected_at(
+      "mcfpga-netlist v1\ncontexts 1\ncontext 0\nnodes 2x\n", "line 4");
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1\ncontext 0\nnodes 2\n"
+                     "in a\nlut f 1e0 0 01\noutputs 0\n",
+                     "line 6");
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1\ncontext 0\nnodes 2\n"
+                     "in a\nlut f 1 0x0 01\noutputs 0\n",
+                     "line 6");
+  // Output node index with trailing garbage.
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1\ncontext 0\nnodes 1\n"
+                     "in a\noutputs 1\nout 0junk y\n",
+                     "line 7");
+  // Trailing tokens after an otherwise valid line.
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1 extra\n", "line 2");
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1\ncontext 0 extra\n",
+                     "line 3");
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1\ncontext 0\nnodes 1\n"
+                     "in a trailing\noutputs 0\n",
+                     "line 5");
+  expect_rejected_at("mcfpga-netlist v1\ncontexts 1\ncontext 0\nnodes 1\n"
+                     "in a\noutputs 1\nout 0 y extra\n",
+                     "line 7");
+}
+
+TEST(Serialize, RejectsMalformedNumericFixtures) {
+  expect_rejected_at("mcfpga-bitstream v1\ncontexts 4abc\nrows 0\n",
+                     "line 2", /*bitstream=*/true);
+  expect_rejected_at("mcfpga-bitstream v1\ncontexts +4\nrows 0\n",
+                     "line 2", /*bitstream=*/true);
+  expect_rejected_at("mcfpga-bitstream v1\ncontexts 4\nrows -1\n",
+                     "line 3", /*bitstream=*/true);
+  expect_rejected_at(
+      "mcfpga-bitstream v1\ncontexts 4\nrows 99999999999999999999\n",
+      "line 3", /*bitstream=*/true);
+  expect_rejected_at("mcfpga-bitstream v1\ncontexts 2\nrows 1\n"
+                     "sb(0,0).p0 routing-switch 01 junk\n",
+                     "line 4", /*bitstream=*/true);
+  expect_rejected_at("mcfpga-bitstream v1\ncontexts 2 extra\nrows 0\n",
+                     "line 2", /*bitstream=*/true);
+}
+
 }  // namespace
 }  // namespace mcfpga::config
