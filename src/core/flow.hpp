@@ -118,6 +118,13 @@ struct ContextStats {
   /// changed their pressure (dirty-set churn).
   std::size_t interleave_reroutes = 0;
   std::size_t interleave_requeues = 0;
+  /// Speculative parallel drain of the interleaved worklist (both 0 when
+  /// `interleave_workers` resolves to one, or outside kInterleaved):
+  /// speculations committed as-is because their read-set still matched the
+  /// live state, and speculations discarded because a batch predecessor
+  /// invalidated them (the net was then re-routed live).
+  std::size_t spec_hits = 0;
+  std::size_t spec_aborts = 0;
 };
 
 /// Stage-cache and delta-recompile accounting of the compile that produced

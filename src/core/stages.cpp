@@ -477,6 +477,8 @@ void TimingStage::run(FlowContext& ctx) const {
     stats.nodes_expanded = summary.nodes_expanded;
     stats.interleave_reroutes = summary.interleave_reroutes;
     stats.interleave_requeues = summary.interleave_requeues;
+    stats.spec_hits = summary.spec_hits;
+    stats.spec_aborts = summary.spec_aborts;
   }
 }
 

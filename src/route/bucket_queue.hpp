@@ -116,6 +116,20 @@ class CalendarQueue {
     }
   }
 
+  /// Deterministic batched multi-pop: fills `out` (cleared first) with up
+  /// to `max_n` items in exactly the order that many consecutive pop()
+  /// calls would return them, and returns the count.  The speculative
+  /// interleaved drain claims its commit window through this, so the
+  /// batch contents are a pure function of the push sequence — same FIFO
+  /// argument as pop(), independent of how many workers then speculate.
+  std::size_t pop_batch(std::size_t max_n, std::vector<Item>& out) {
+    out.clear();
+    while (out.size() < max_n && size_ > 0) {
+      out.push_back(pop());
+    }
+    return out.size();
+  }
+
  private:
   std::uint64_t quantize(double cost) const {
     // Costs are non-negative by construction; guard NaN/negative anyway so

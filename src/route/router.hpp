@@ -164,6 +164,22 @@ struct RouterOptions {
   /// whose keys land in the same bucket pop FIFO, which keeps the wave
   /// order a pure function of push order.  Must be in (0, 1].
   double interleave_crit_quantum = 0.015625;
+  /// kInterleaved only: workers for the speculative drain of the merged
+  /// queue (route/schedule.hpp).  0 = inherit num_threads; 1 = the
+  /// sequential drain.  Any value produces bit-identical routed state:
+  /// speculation only changes who computes a candidate route, never which
+  /// route the ordered commit applies.
+  std::size_t interleave_workers = 0;
+  /// kInterleaved only: nets claimed per speculation batch (the commit
+  /// window) when the drain runs more than one worker.  Batch contents
+  /// come from CalendarQueue::pop_batch, so they are a pure function of
+  /// queue order; the window trades exposed parallelism against the odds
+  /// that an earlier commit invalidates a later speculation in the same
+  /// batch.  Must be >= 1.  Small windows win: on congested workloads
+  /// the measured abort rate grows from ~12% at a window of 2 to ~70%
+  /// at 16, and every abort re-routes serially — 4 keeps four workers
+  /// busy while aborts stay near 30%.
+  std::size_t speculation_window = 4;
   /// Maze-expansion priority queue engine (see QueueMode).
   QueueMode queue_mode = QueueMode::kBinaryHeap;
   /// Bucket width of the calendar queue (kBucket only).  Costs quantize to
@@ -230,6 +246,13 @@ struct ContextRouteSummary {
   /// kInterleaved only: (net) entries of this context pushed back onto the
   /// merged queue because a peer's commit changed their pressure.
   std::size_t interleave_requeues = 0;
+  /// kInterleaved with interleave_workers > 1 only: speculative routes of
+  /// this context validated at commit (the read-set still matched the live
+  /// state, so the precomputed result was adopted verbatim) vs. discarded
+  /// and re-routed live because an earlier commit in the batch changed
+  /// state the speculation had read.  Both 0 on the sequential drain.
+  std::size_t spec_hits = 0;
+  std::size_t spec_aborts = 0;
 };
 
 /// One outer negotiation round of the cross-context scheduler (round 0 is
@@ -260,8 +283,18 @@ struct NegotiationRoundStats {
   /// Summing these over every entry gives the negotiation's TOTAL cost —
   /// the number the interleaved-vs-round-based comparison gates on; the
   /// kept-round counters in ContextRouteSummary deliberately do not.
+  /// Speculation traffic that was discarded at commit (aborts) is NOT
+  /// included, so these stay byte-identical for every worker count.
   std::size_t heap_pushes = 0;
   std::size_t nodes_expanded = 0;
+  /// kInterleaved speculative drain: batch entries whose speculative
+  /// result survived read-set validation at commit vs. entries relived
+  /// serially.  hits + aborts = every pop of the wave when the drain ran
+  /// more than one worker; both 0 on the sequential drain.  Independent
+  /// of the worker count (the batch window, not the workers, fixes the
+  /// speculation horizon), so the smoke bench pins them.
+  std::size_t spec_hits = 0;
+  std::size_t spec_aborts = 0;
 };
 
 struct RouteResult {

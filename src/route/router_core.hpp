@@ -61,6 +61,7 @@
 // same context re-time incrementally instead of re-levelizing the DAG.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -218,6 +219,83 @@ class RouterCore {
   /// accumulated (nets/iterations/converged are the scheduler's to fill).
   ContextResult session_finish();
 
+  // ---- Speculative drain API (interleave_workers > 1) ----
+  //
+  // A WORKER core (a pool slot holding no session) re-routes one net of a
+  // SESSION core entirely read-only: it reads the session's live
+  // occupancy/cost arrays through a per-worker virtual-rip overlay that
+  // prices the net's own old tree exactly as a real rip + pressure
+  // patch-down would, records every (node, occupancy, cost) the expansion
+  // read, and returns the candidate route without touching the session.
+  // At commit time the scheduler performs the REAL rip + patch-down in
+  // queue order and validates the recorded read-set against the live
+  // arrays: the expansion's result is a pure function of those reads (plus
+  // frozen criticalities/history/graph), so an intact read-set proves a
+  // live re-route would reproduce the speculative result bit for bit, and
+  // session_adopt_route commits it — counters included — as if the session
+  // had computed it.  A mismatch means an earlier commit in the batch
+  // interfered; the speculation is discarded and the net relived serially.
+
+  /// One node of the virtual rip: `pressure` is the shared-pressure total
+  /// the node will carry AFTER the rip's patch-down (the scheduler computes
+  /// it with the exact summation patch() uses).
+  struct SpecOverlay {
+    arch::NodeId node;
+    double pressure;
+  };
+  /// One recorded read: `cost_read` is 0 when the expansion only tested
+  /// occupancy (exclusion) and never priced the node.
+  struct SpecRead {
+    arch::NodeId node;
+    int occupancy;
+    std::uint8_t cost_read;
+    double cost;
+  };
+  struct SpecResult {
+    bool found = false;  ///< False: a sink unreachable under exclusion.
+    RoutedNet net;
+    std::vector<arch::NodeId> tree;  ///< New tree, source + pins + wires.
+    std::vector<SpecRead> reads;     ///< Dedup'd expansion read-set.
+    std::size_t heap_pushes = 0;
+    std::size_t heap_pops = 0;
+    std::size_t stale_pops = 0;
+    std::size_t nodes_expanded = 0;
+  };
+
+  /// Speculatively re-routes net `i` of `session` (an armed session core
+  /// over the same graph) on THIS core's scratch, reading the session's
+  /// arrays through the `overlay` virtual rip.  Never writes the session.
+  /// `out` is reset first; on found=false the read-set is still complete,
+  /// so a validated failure proves the live route would fail too.
+  void speculate_route(const RouterCore& session, std::size_t i,
+                       const std::vector<SpecOverlay>& overlay,
+                       SpecResult& out);
+
+  /// True iff every recorded read still matches this session's live
+  /// occupancy/cost arrays (exact comparison — the determinism proof
+  /// needs bit-identity, not tolerance).
+  bool session_validate_reads(const std::vector<SpecRead>& reads) const;
+
+  /// Commits a validated speculative route for net `i` exactly as the tail
+  /// of session_route_net would: occupancy/owner/node costs at the new
+  /// tree, `gained_wires` filled with its WIRE nodes, and the speculation's
+  /// expansion counters folded into the session totals (they equal what a
+  /// live re-route would have spent, so per-wave counter aggregation stays
+  /// byte-stable across worker counts).
+  void session_adopt_route(std::size_t i, SpecResult&& spec,
+                           std::vector<arch::NodeId>& gained_wires);
+
+  /// Folds a validated FAILED speculation's counters into the session
+  /// totals (the live expansion would have spent them before giving up);
+  /// the caller then restores the ripped net as usual.
+  void session_fold_spec_counters(const SpecResult& spec);
+
+  /// Current tree of net `i` (source + pins + wires) — the scheduler
+  /// builds the virtual-rip overlay from it.
+  const std::vector<arch::NodeId>& session_tree(std::size_t i) const {
+    return session_tree_[i];
+  }
+
  private:
   struct HeapItem {
     double cost;
@@ -279,6 +357,16 @@ class RouterCore {
   bool expand_to_sink(Queue& queue, const std::vector<arch::NodeId>& tree,
                       arch::NodeId sink, double cong_scale, double delay_term,
                       ContextResult& result);
+
+  /// expand_to_sink's speculative twin: identical relaxation arithmetic
+  /// and pop order, but occupancy/cost come from `src` through the
+  /// virtual-rip overlay, every read is recorded into `out`, and counters
+  /// land in `out` instead of a ContextResult.
+  template <typename Queue>
+  bool spec_expand_to_sink(Queue& queue, const RouterCore& src,
+                           const std::vector<arch::NodeId>& tree,
+                           arch::NodeId sink, double cong_scale,
+                           double delay_term, SpecResult& out);
 
   /// Returns the cached (or freshly built) timing engine for `spec`,
   /// reset to unit-switch delays and re-analyzed — identical state to a
@@ -344,6 +432,18 @@ class RouterCore {
   std::size_t session_saved_index_ = 0;
   std::vector<RoutedPath> session_saved_paths_;
   std::vector<arch::NodeId> session_saved_tree_;
+
+  // Speculation scratch (worker cores of the parallel drain).  Epoch-
+  // stamped like the Dijkstra scratch: spec_mark_ validates the overlay
+  // arrays, read_mark_/read_slot_ dedup the recorded read-set.  Lazily
+  // sized on the first speculate_route call, so session-only and
+  // independent-mode cores never pay for it.
+  std::vector<std::uint32_t> spec_mark_;
+  std::vector<int> spec_occ_;
+  std::vector<double> spec_cost_;
+  std::vector<std::uint32_t> read_mark_;
+  std::vector<std::uint32_t> read_slot_;
+  std::uint32_t spec_epoch_ = 0;
 };
 
 /// Pool of per-worker engine state: one RouterCore per slot, each on its
@@ -355,6 +455,11 @@ class RouterCore {
 /// results for the same pass inputs — so callers may hand them to workers
 /// in any order without perturbing determinism.  Not thread-safe: call
 /// prepare() before fanning out, then give each worker its own slot.
+/// checkout()/release() harden that hand-out: a checkout marks the slot
+/// owned (atomically, so concurrent claimants cannot both win) and a
+/// second checkout before release is an MCFPGA_CHECK failure — two workers
+/// sharing an engine is the one race the speculative drain must never
+/// have.  core() stays available for single-owner call sites.
 class CorePool {
  public:
   void prepare(std::size_t count, const arch::RoutingGraph& graph,
@@ -362,10 +467,19 @@ class CorePool {
   RouterCore& core(std::size_t slot) { return *slots_[slot].core; }
   std::size_t size() const { return slots_.size(); }
 
+  /// Claims exclusive use of `slot` until release(); throws
+  /// ProgrammingError if the slot is already claimed (or out of range).
+  RouterCore& checkout(std::size_t slot);
+  /// Returns a claimed slot; throws ProgrammingError if it was not
+  /// checked out.
+  void release(std::size_t slot);
+
  private:
   struct Slot {
     std::unique_ptr<common::ScratchArena> arena;
     std::unique_ptr<RouterCore> core;
+    /// Heap-allocated so Slot stays movable (atomics are not).
+    std::unique_ptr<std::atomic<bool>> in_use;
   };
   std::vector<Slot> slots_;
 };

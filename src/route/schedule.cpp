@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <utility>
 
@@ -39,6 +41,14 @@ struct Score {
   }
 };
 
+/// One batch slot of the speculative drain: the worker's virtual-rip
+/// overlay input and its speculation result, allocation-reused across
+/// batches and waves.
+struct SpecTask {
+  std::vector<RouterCore::SpecOverlay> overlay;
+  RouterCore::SpecResult result;
+};
+
 }  // namespace
 
 ContextScheduler::ContextScheduler(const arch::RoutingGraph& graph,
@@ -61,14 +71,28 @@ RouteResult ContextScheduler::route(
       effective_threads(options_.num_threads, num_contexts);
   const bool interleaved =
       options_.cross_context_mode == CrossContextMode::kInterleaved;
+  // Workers for the speculative drain of the merged queue: 0 inherits
+  // num_threads, and more engines than the batch window could claim nets
+  // cannot help.  1 = the sequential drain (the reference semantics the
+  // parallel drain reproduces bit for bit).
+  const std::size_t drain_workers =
+      interleaved ? effective_threads(options_.interleave_workers != 0
+                                          ? options_.interleave_workers
+                                          : options_.num_threads,
+                                      options_.speculation_window)
+                  : 1;
   CorePool local_pool;
   CorePool& cores = pool != nullptr ? *pool : local_pool;
   // Interleaved mode keeps one live session per CONTEXT (each owns a
   // context's occupancy/owner maps for the whole wave loop), so the pool
-  // must cover the contexts, not just the workers.
-  cores.prepare(std::max(std::max<std::size_t>(workers, 1),
-                         interleaved ? num_contexts : 0),
-                graph_, options_);
+  // must cover the contexts, not just the workers — plus one speculation
+  // engine per drain worker on the slots past the sessions.
+  cores.prepare(
+      std::max(std::max<std::size_t>(workers, 1),
+               interleaved
+                   ? num_contexts + (drain_workers > 1 ? drain_workers : 0)
+                   : 0),
+      graph_, options_);
 
   // Effective pressure weight of one negotiation round: the flat weight,
   // ramped up round by round when pressure_ramp is set (ramp 0 multiplies
@@ -269,10 +293,12 @@ RouteResult ContextScheduler::route(
   Snapshot best{current, hist};
   std::size_t best_round = 0;
 
-  // Per-context interleaved churn counters (stay zero in round-based
-  // modes; folded into the merged summaries at the tail).
+  // Per-context interleaved churn + speculation counters (stay zero in
+  // round-based modes; folded into the merged summaries at the tail).
   std::vector<std::size_t> interleave_reroutes(num_contexts, 0);
   std::vector<std::size_t> interleave_requeues(num_contexts, 0);
+  std::vector<std::size_t> spec_hits(num_contexts, 0);
+  std::vector<std::size_t> spec_aborts(num_contexts, 0);
 
   // Negotiation only makes sense over a converged baseline with something
   // to negotiate about; pressure never helps a context that could not
@@ -315,10 +341,21 @@ RouteResult ContextScheduler::route(
   // patches the shared pressure, and re-routes it against the LIVE
   // pressure of everyone else — commit granularity instead of round
   // granularity — then re-enqueues only the nets whose pressure the
-  // commit actually changed (dirty-set propagation).  The whole loop is
-  // sequential and the queue pops FIFO within a priority bucket, so the
-  // result is deterministic for any worker count; cost tracks conflict
-  // churn, not rounds x contexts x nets.
+  // commit actually changed (dirty-set propagation).  The queue pops FIFO
+  // within a priority bucket, so pop order is a pure function of push
+  // order; cost tracks conflict churn, not rounds x contexts x nets.
+  //
+  // With drain_workers > 1 the drain runs SPECULATIVELY: a deterministic
+  // batch of pops is claimed up front (pop_batch), every entry is routed
+  // in parallel by a read-only worker engine against the committed
+  // snapshot (a virtual-rip overlay stands in for the entry's own rip,
+  // and every occupancy/cost value the expansion reads is recorded), and
+  // the serial commit then replays the batch in pop order — validating
+  // each recorded read-set against the live state and adopting the
+  // precomputed route when it holds, or discarding it and re-routing
+  // live when an earlier commit interfered.  Either way each commit is
+  // exactly what the sequential drain would have produced, so the routed
+  // state is bit-identical for ANY worker count.
   if (all_converged() && stats[0].conflicts > 0 && interleaved) {
     // All sessions share ONE unscaled pressure array
     //   total[n] = sum_c crit[c] * usage[c][n]
@@ -337,10 +374,10 @@ RouteResult ContextScheduler::route(
       }
     }
     for (std::size_t c = 0; c < num_contexts; ++c) {
-      cores.core(c).session_begin(nets_per_context[c],
-                                  timing ? &(*timing)[c] : nullptr,
-                                  current[c].nets, &hist[c], total.data(),
-                                  weight);
+      cores.checkout(c).session_begin(nets_per_context[c],
+                                      timing ? &(*timing)[c] : nullptr,
+                                      current[c].nets, &hist[c], total.data(),
+                                      weight);
     }
 
     // Re-derives total[] at the patched nodes from the usage columns
@@ -418,6 +455,54 @@ RouteResult ContextScheduler::route(
       }
     }
 
+    // Speculative drain machinery (drain_workers > 1): per-worker engines
+    // checked out of the pool slots past the sessions, a persistent batch
+    // barrier, and allocation-reused batch slots.
+    std::vector<RouterCore*> engines;
+    std::unique_ptr<BatchRunner> runner;
+    std::vector<CalendarQueue<std::uint64_t>::Item> batch;
+    std::vector<SpecTask> tasks;
+    if (drain_workers > 1) {
+      engines.reserve(drain_workers);
+      for (std::size_t w = 0; w < drain_workers; ++w) {
+        engines.push_back(&cores.checkout(num_contexts + w));
+      }
+      runner = std::make_unique<BatchRunner>(drain_workers);
+      tasks.resize(options_.speculation_window);
+    }
+    // Speculates batch entry k on engine `slot`, reading the sessions
+    // only — a pure function of the committed snapshot and k, so the
+    // participant -> entry assignment cannot perturb anything.
+    const std::function<void(std::size_t, std::size_t)> speculate =
+        [&](std::size_t slot, std::size_t k) {
+          const std::uint64_t v = batch[k].value;
+          const std::size_t c = static_cast<std::size_t>(v >> 32);
+          const std::size_t i = static_cast<std::size_t>(v & 0xffffffffu);
+          const RouterCore& session = cores.core(c);
+          SpecTask& task = tasks[k];
+          // Virtual-rip overlay: for every node of the net's current
+          // tree, the pressure total it will carry after the real rip's
+          // patch-down — the exact context-order summation patch()
+          // performs.  Only wires carry usage; a pin's total is whatever
+          // it already was.
+          task.overlay.clear();
+          for (const arch::NodeId n : session.session_tree(i)) {
+            const std::size_t ni = static_cast<std::size_t>(n);
+            double p = total[ni];
+            if (usage[c][ni] != 0) {
+              p = 0.0;
+              for (std::size_t c2 = 0; c2 < num_contexts; ++c2) {
+                if (c2 != c && usage[c2][ni] != 0) {
+                  p += crit[c2];
+                }
+              }
+            }
+            task.overlay.push_back({n, p});
+          }
+          engines[slot]->speculate_route(session, i, task.overlay,
+                                         task.result);
+        };
+
     std::vector<arch::NodeId> freed;
     std::vector<arch::NodeId> gained;
     std::size_t active = 0;
@@ -430,23 +515,46 @@ RouteResult ContextScheduler::route(
       start = clock::now();
       std::size_t rerouted = 0;
       std::size_t requeued = 0;
+      std::size_t wave_spec_hits = 0;
+      std::size_t wave_spec_aborts = 0;
       std::size_t pushes_before = 0;
       std::size_t expanded_before = 0;
       for (std::size_t c = 0; c < num_contexts; ++c) {
         pushes_before += cores.core(c).session_heap_pushes();
         expanded_before += cores.core(c).session_nodes_expanded();
       }
-      while (!work.empty()) {
-        const auto item = work.pop();
-        const std::size_t c = static_cast<std::size_t>(item.value >> 32);
-        const std::size_t i =
-            static_cast<std::size_t>(item.value & 0xffffffffu);
+      // One pop's commit, shared by both drains.  `spec` is null on the
+      // sequential path; on the speculative path a validated read-set
+      // proves the precomputed result is exactly what the live re-route
+      // below would produce, so adopting it (or its validated failure)
+      // cannot diverge from the sequential drain.
+      const auto commit_pop = [&](std::size_t c, std::size_t i,
+                                  SpecTask* spec) {
         RouterCore& core = cores.core(c);
         // Rip FIRST and patch the shared pressure down, so the re-route
         // is not repelled by the net's own old wires.
         core.session_rip_net(i, freed);
         patch(freed, c, false);
-        if (core.session_route_net(i, gained)) {
+        bool routed;
+        if (spec != nullptr &&
+            core.session_validate_reads(spec->result.reads)) {
+          ++wave_spec_hits;
+          ++spec_hits[c];
+          if (spec->result.found) {
+            core.session_adopt_route(i, std::move(spec->result), gained);
+            routed = true;
+          } else {
+            core.session_fold_spec_counters(spec->result);
+            routed = false;
+          }
+        } else {
+          if (spec != nullptr) {
+            ++wave_spec_aborts;
+            ++spec_aborts[c];
+          }
+          routed = core.session_route_net(i, gained);
+        }
+        if (routed) {
           ++rerouted;
           ++interleave_reroutes[c];
           patch(gained, c, true);
@@ -484,6 +592,30 @@ RouteResult ContextScheduler::route(
           core.session_restore_net(i);
           patch(freed, c, true);
         }
+      };
+      if (drain_workers <= 1) {
+        while (!work.empty()) {
+          const auto item = work.pop();
+          commit_pop(static_cast<std::size_t>(item.value >> 32),
+                     static_cast<std::size_t>(item.value & 0xffffffffu),
+                     nullptr);
+        }
+      } else {
+        // Claim a deterministic window, speculate it in parallel against
+        // the committed snapshot (pure reads of the sessions), commit
+        // serially in pop order.  Pops only ever leave `work` and pushes
+        // only ever enter `next`, so claiming the window up front cannot
+        // change which nets it contains.
+        while (!work.empty()) {
+          const std::size_t got =
+              work.pop_batch(options_.speculation_window, batch);
+          runner->run(got, speculate);
+          for (std::size_t k = 0; k < got; ++k) {
+            commit_pop(static_cast<std::size_t>(batch[k].value >> 32),
+                       static_cast<std::size_t>(batch[k].value & 0xffffffffu),
+                       &tasks[k]);
+          }
+        }
       }
 
       // Score the wave exactly like a negotiation round, against the
@@ -520,6 +652,8 @@ RouteResult ContextScheduler::route(
       s.seconds = std::chrono::duration<double>(clock::now() - start).count();
       s.nets_rerouted = rerouted;
       s.nets_requeued = requeued;
+      s.spec_hits = wave_spec_hits;
+      s.spec_aborts = wave_spec_aborts;
       for (std::size_t c = 0; c < num_contexts; ++c) {
         s.heap_pushes += cores.core(c).session_heap_pushes();
         s.nodes_expanded += cores.core(c).session_nodes_expanded();
@@ -556,10 +690,17 @@ RouteResult ContextScheduler::route(
       }
     }
 
+    // Return the worker engines before closing the sessions.
+    runner.reset();
+    for (std::size_t w = 0; w < engines.size(); ++w) {
+      cores.release(num_contexts + w);
+    }
+
     // Close the sessions and attribute their expansion traffic to the
     // kept results — the counters describe work done, whichever wave won.
     for (std::size_t c = 0; c < num_contexts; ++c) {
       const RouterCore::ContextResult sess = cores.core(c).session_finish();
+      cores.release(c);
       best.results[c].heap_pushes += sess.heap_pushes;
       best.results[c].heap_pops += sess.heap_pops;
       best.results[c].stale_pops += sess.stale_pops;
@@ -578,6 +719,8 @@ RouteResult ContextScheduler::route(
   for (std::size_t c = 0; c < num_contexts; ++c) {
     result.context_summary[c].interleave_reroutes = interleave_reroutes[c];
     result.context_summary[c].interleave_requeues = interleave_requeues[c];
+    result.context_summary[c].spec_hits = spec_hits[c];
+    result.context_summary[c].spec_aborts = spec_aborts[c];
   }
   return result;
 }

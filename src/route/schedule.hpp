@@ -68,10 +68,25 @@
 //
 // Each wave is scored like a negotiation round and the best state is
 // kept, so kInterleaved inherits the never-worse-than-independent
-// guarantee; the loop is sequential and the queue pops are a pure
-// function of pushes, so the result is deterministic for any worker
-// count.  Cost now tracks actual conflict churn (nets re-routed per
-// wave) instead of rounds x contexts x nets.
+// guarantee; the commit order is the queue's pop order, a pure function
+// of pushes, so the result is deterministic for any worker count.  Cost
+// now tracks actual conflict churn (nets re-routed per wave) instead of
+// rounds x contexts x nets.
+//
+// With more than one drain worker (interleave_workers, defaulting to
+// num_threads) the merged queue drains SPECULATIVELY: a deterministic
+// batch of up to speculation_window pops is claimed, worker engines
+// route every claimed net in parallel against the committed snapshot —
+// pure reads of the sessions plus a per-worker virtual overlay that
+// pretends only the net's own tree was ripped — recording the exact
+// (occupancy, cost) values each expansion read.  Commits then replay the
+// batch serially in pop order: a speculation whose recorded reads still
+// match the live state is adopted as-is (its result is provably what a
+// live re-route would have produced); one invalidated by an earlier
+// commit in the batch is discarded and the net re-routed live on the
+// session.  Committed state is therefore a pure function of queue order
+// — bit-identical to the single-worker drain for any worker count or
+// window size — and the parallel speculation only buys wall-clock time.
 #pragma once
 
 #include <cstddef>

@@ -462,5 +462,84 @@ TEST(BucketQueue, FuzzMatchesReferenceModel) {
   }
 }
 
+TEST(BucketQueue, PopBatchMatchesSequentialPops) {
+  // pop_batch must return exactly what that many consecutive pop() calls
+  // would — across bucket boundaries, the overflow rebase, and pushes
+  // interleaved between batches (the speculative drain claims a window,
+  // commits it, then pushes the dirty set before claiming the next).
+  const auto build = [](BucketQueue& q) {
+    q.configure(1.0, 4);
+    q.push(1.5, 1);
+    q.push(9.0, 2);
+    q.push(2.5, 3);
+    q.push(9.2, 4);
+    q.push(0.0, 5);
+    q.push(6.0, 6);
+  };
+  BucketQueue seq;
+  build(seq);
+  BucketQueue batched;
+  build(batched);
+  std::vector<BucketQueue::Item> batch;
+  while (!batched.empty()) {
+    const std::size_t got = batched.pop_batch(4, batch);
+    ASSERT_EQ(got, batch.size());
+    ASSERT_GT(got, 0u);
+    for (std::size_t k = 0; k < got; ++k) {
+      const auto ref = seq.pop();
+      EXPECT_EQ(batch[k].value, ref.value);
+      EXPECT_EQ(batch[k].cost, ref.cost);
+    }
+    if (batched.size() == 2) {  // mid-drain pushes land in later batches
+      batched.push(3.0, 7);
+      seq.push(3.0, 7);
+    }
+  }
+  EXPECT_TRUE(seq.empty());
+  // An over-long request drains what is there and reports the count.
+  BucketQueue q;
+  q.configure(0.5, 8);
+  q.push(1.0, 1);
+  q.push(0.5, 2);
+  EXPECT_EQ(q.pop_batch(16, batch), 2u);
+  EXPECT_EQ(batch[0].value, 2u);
+  EXPECT_EQ(batch[1].value, 1u);
+  EXPECT_EQ(q.pop_batch(16, batch), 0u);
+  EXPECT_TRUE(batch.empty());
+}
+
+// --- CorePool checkout hardening -----------------------------------------
+
+TEST(CorePool, CheckoutGuardsAgainstConcurrentClaims) {
+  const arch::RoutingGraph g(small_spec());
+  CorePool pool;
+  pool.prepare(2, g, RouterOptions{});
+
+  RouterCore& a = pool.checkout(0);
+  EXPECT_EQ(&a, &pool.core(0));
+  // Double checkout of a claimed slot is a programming error, not a
+  // silent aliasing of one engine's scratch across two workers.
+  EXPECT_THROW(pool.checkout(0), ProgrammingError);
+  // The other slot is independent.
+  EXPECT_NO_THROW(pool.checkout(1));
+  pool.release(1);
+
+  // Rebuilding the pool under a live checkout would pull the engine out
+  // from under its worker.
+  EXPECT_THROW(pool.prepare(2, g, RouterOptions{}), ProgrammingError);
+
+  pool.release(0);
+  // Released slots can be claimed again, and pay-as-you-go mismatches
+  // are caught: releasing an idle slot or touching an unprepared one.
+  EXPECT_NO_THROW(pool.checkout(0));
+  pool.release(0);
+  EXPECT_THROW(pool.release(0), ProgrammingError);
+  EXPECT_THROW(pool.checkout(7), ProgrammingError);
+  EXPECT_THROW(pool.release(7), ProgrammingError);
+
+  // With every slot idle, prepare() may rebuild freely.
+  EXPECT_NO_THROW(pool.prepare(3, g, RouterOptions{}));
+}
+
 }  // namespace
 }  // namespace mcfpga::route
